@@ -1,0 +1,37 @@
+"""E7 — §III-B: the buffering reverse proxy prevents RegionServer crashes.
+
+Paper: "frequent crashes of Regionservers due to overloaded RPC
+Queues ... we built a reverse proxy to buffer requests to OpenTSDB in
+order to limit the number of concurrent requests", plus round-robin
+load balancing across TSDs and compaction disabled to cut RPC load.
+
+Shape assertions: the proxy configuration survives overload with zero
+crashes and the highest goodput; fire-and-forget crashes RegionServers;
+compaction-on costs throughput.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="backpressure")
+def test_backpressure_ablation(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e7", n_nodes=10, duration=1.25, warmup=0.5, offered_rate=400_000.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    numbers = result.numbers
+
+    # proxy: no crashes under 3x overload
+    assert numbers["proxy_crashes"] == 0
+    # fire-and-forget: RegionServers crash (the paper's failure mode)
+    assert numbers["direct_crashes"] > 0
+    # and the crashes cost goodput
+    assert numbers["proxy_goodput"] > numbers["direct_goodput"]
+    # compaction enabled costs throughput (why the paper disabled it)
+    assert numbers["proxy_compact_goodput"] < numbers["proxy_goodput"]

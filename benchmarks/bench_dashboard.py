@@ -1,0 +1,42 @@
+"""E8 — Figure 3: the machine page (status bar, sparklines, drill-down).
+
+Regenerates the paper's visualization artifact for a fleet, including
+"machine 80"-style machine pages, from TSDB queries only.
+
+Shape assertions: the index and machine pages exist, machine pages
+contain the three Figure 3 elements (status strip, anomaly-annotated
+sparkline grid, drill-down details), and flagged anomalies render red.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="dashboard")
+def test_dashboard_generation(benchmark, archive, tmp_path):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e8", out_dir=str(tmp_path), n_units=12, n_sensors=40,
+            n_train=300, n_eval=300,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+
+    index = tmp_path / "index.html"
+    assert index.exists()
+    html = index.read_text()
+    assert "Fleet status" in html and "status-bar" in html
+
+    pages = sorted(tmp_path.glob("machine-*.html"))
+    assert len(pages) == 12
+    flagged_pages = [p for p in pages if "cell flagged" in p.read_text()]
+    assert flagged_pages, "no machine page shows flagged anomalies"
+    sample = flagged_pages[0].read_text()
+    assert "sparkline" in sample          # centre panel
+    assert "Unit status" in sample        # top strip
+    assert "Drill-down" in sample         # bottom panel
+    assert "#d62728" in sample            # anomalies flagged in red
+    assert result.numbers["anomalies"] > 0

@@ -1,0 +1,40 @@
+"""E10 — detector design ablations (DESIGN.md §5).
+
+Not a paper figure: these ablate the reproduction's own design choices
+the way the paper's evaluation would have, (a) the trailing-window
+length of the mean-shift statistic and (b) the whitened T² unit-level
+channel enabled by the covariance/SVD training.
+
+Shape assertions: longer windows buy power; detection delay is U-shaped
+in the window length (w=1 detects late for lack of power, very long
+windows react sluggishly); the T² channel separates faulted from
+healthy units by an order of magnitude in alarm steps.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="detector-ablation")
+def test_detector_ablations(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e10", n_units=24, n_sensors=120, n_train=500, n_eval=500,
+            windows=(1, 8, 32, 128),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    numbers = result.numbers
+
+    # power grows with window length over the useful range
+    assert numbers["w1_power"] < numbers["w8_power"] < numbers["w32_power"]
+    # detection delay is U-shaped in the window: w=1 detects late because
+    # it lacks power against the fleet's moderate faults, the optimum sits
+    # in the middle, and very long windows are sluggish again
+    assert numbers["w128_delay"] > numbers["w32_delay"]
+    # whitened T²: faulted units alarm persistently, healthy ones barely
+    assert numbers["t2_on_faulted_steps"] > 5 * max(numbers["t2_on_healthy_steps"], 0.5)
+    assert numbers["t2_off_faulted_steps"] == 0.0

@@ -1,0 +1,42 @@
+"""E4 — §IV: the FDR procedure reduces false alarms while keeping power.
+
+Paper claim: FDR "significantly reduces the number of false alarms"
+compared to uncorrected testing, while avoiding Bonferroni's "much less
+detection power / overly conservative" behaviour.
+
+Shape assertions on the synthetic fleet (§II-A classes):
+* uncorrected testing false-alarms on most fault-free time steps;
+* BH keeps the realised per-family FDP near q and the null-step alarm
+  rate low;
+* BH's power is at least Bonferroni's (it is uniformly more powerful);
+* BY (dependency-robust) is the most conservative.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="fdr")
+def test_fdr_vs_comparators(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e4", n_units=40, n_sensors=200, n_train=500, n_eval=500, q=0.05
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    numbers = result.numbers
+
+    # uncorrected testing: false alarms nearly every second on a healthy fleet
+    assert numbers["none_null_rate"] > 0.8
+    # BH: false alarms controlled near q, orders of magnitude below uncorrected
+    assert numbers["bh_null_rate"] < 0.2
+    assert numbers["bh_family_fdp"] < 0.12
+    assert numbers["bh_null_rate"] < numbers["none_null_rate"] / 4
+    # power ordering: none >= bh >= bonferroni, bh >= by
+    assert numbers["none_power"] >= numbers["bh_power"] >= numbers["bonferroni_power"]
+    assert numbers["bh_power"] >= numbers["by_power"]
+    # BH keeps most of the uncorrected power despite 16x fewer false alarms
+    assert numbers["bh_power"] > 0.8 * numbers["none_power"]

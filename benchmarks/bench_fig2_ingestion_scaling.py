@@ -1,0 +1,39 @@
+"""E1 — Figure 2 (left): ingestion throughput vs cluster size.
+
+Paper: 10/15/20/25/30 nodes → 173k/233k/257k/325k/399k samples/s,
+"the system scales linearly, with each added machine increasing
+throughput by 11K samples per second on average".
+
+Shape assertions: throughput strictly increasing in node count, linear
+fit R² ≥ 0.98, 30-node throughput within 2x of the paper's 399k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER_FIG2_LEFT, REGISTRY
+
+
+@pytest.mark.benchmark(group="fig2-left")
+def test_fig2_left_ingestion_scaling(benchmark, archive, results_dir):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e1", nodes=(10, 15, 20, 25, 30), duration=0.75, warmup=0.4,
+            offered_rate=600_000.0, figure_path=str(results_dir / "fig2_left.svg"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+
+    throughputs = [result.numbers[f"throughput_{n}"] for n in (10, 15, 20, 25, 30)]
+    # strictly increasing with cluster size
+    assert all(a < b for a, b in zip(throughputs, throughputs[1:]))
+    # linear scale-up
+    assert result.numbers["r2"] >= 0.98
+    # slope in the paper's regime (~11k/s per machine; allow 2x band)
+    assert 5_500 <= result.numbers["slope"] <= 22_000
+    # headline point within 2x of the published 399k samples/s
+    assert result.numbers["throughput_30"] == pytest.approx(
+        PAPER_FIG2_LEFT[30], rel=1.0
+    )

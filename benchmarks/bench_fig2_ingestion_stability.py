@@ -1,0 +1,31 @@
+"""E2 — Figure 2 (right): cumulative samples vs ingestion duration.
+
+Paper: "the line graph of sensor samples ingested versus the ingestion
+duration shows a constant and stable ingestion rate for each
+configuration of the framework".
+
+Shape assertions: cumulative curves are monotone and the steady-state
+per-interval rate has a low coefficient of variation.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="fig2-right")
+def test_fig2_right_ingestion_stability(benchmark, archive, results_dir):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e2", nodes=(10, 20, 30), duration=1.5, offered_rate=600_000.0,
+            step=0.25, figure_path=str(results_dir / "fig2_right.svg"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+
+    for n in (10, 20, 30):
+        assert result.numbers[f"cv_{n}"] < 0.25, (
+            f"{n}-node ingestion rate not stable (CV={result.numbers[f'cv_{n}']:.3f})"
+        )

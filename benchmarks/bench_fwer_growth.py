@@ -1,0 +1,38 @@
+"""E3 — §IV: family-wise false-alarm probability vs sensor count.
+
+Paper: "for a single sensor with an allowable α = 0.05, the probability
+of making at least one false alarm is 5%.  However, if we increase the
+number of sensors to 10 sensors each with α = 0.05, that probability
+jumps to 40%".
+
+Assertions: Monte-Carlo matches 1−(1−α)^m at every m, reproducing the
+5% → 40% jump exactly.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+from repro.core import family_wise_error_probability
+
+
+@pytest.mark.benchmark(group="fwer")
+def test_fwer_growth_matches_analytic(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run(
+            "e3", sensor_counts=(1, 5, 10, 50, 100, 500, 1000), n_trials=4000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+
+    for m in (1, 5, 10, 50, 100, 500, 1000):
+        analytic = result.numbers[f"analytic_{m}"]
+        empirical = result.numbers[f"empirical_{m}"]
+        assert empirical == pytest.approx(analytic, abs=0.03)
+    # the paper's worked example
+    assert result.numbers["analytic_1"] == pytest.approx(0.05)
+    assert result.numbers["analytic_10"] == pytest.approx(0.4013, abs=1e-3)
+    # monotone growth to near-certainty at fleet scale
+    assert result.numbers["analytic_1000"] > 0.99
+    assert family_wise_error_probability(0.05, 1000) > 0.99

@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper artifact (figure/table/claim) via
+the :mod:`repro.bench` experiment registry, asserts the *shape* the
+paper reports, and archives the rendered comparison table under
+``benchmarks/results/`` so EXPERIMENTS.md can cite actual runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def archive(results_dir):
+    """Save an ExperimentResult's rendering for the repo's records."""
+
+    def _save(result) -> None:
+        path = results_dir / f"{result.experiment_id.lower()}.txt"
+        path.write_text(result.render() + "\n")
+        print()
+        print(result.render())
+
+    return _save

@@ -1,0 +1,112 @@
+"""repro: scalable anomaly detection and visualization for power assets.
+
+A full reproduction of Jain et al., *Scalable Architecture for Anomaly
+Detection and Visualization in Power Generating Assets* (IPDPS
+Workshops 2017, arXiv:1701.07500): the OpenTSDB/HBase-style ingestion
+tier (simulated on a discrete-event substrate), the FDR anomaly
+detector with its Spark-style offline trainer, the §II-A synthetic
+fleet dataset, and the Figure 3 visualization tool.
+
+Quick start::
+
+    from repro import FleetGenerator, FleetConfig, AnomalyPipeline, build_cluster
+
+    gen = FleetGenerator(FleetConfig(n_units=10, n_sensors=50))
+    cluster = build_cluster(n_nodes=5, retain_data=True)
+    pipeline = AnomalyPipeline(gen, cluster)
+    result = pipeline.run(n_train=300, n_eval=300)
+    print(result.total_discoveries(), "anomalies flagged")
+
+Subpackages
+-----------
+``repro.core``
+    The FDR detector, multiple-testing procedures, SPC baselines,
+    online evaluator, trainer, and end-to-end pipeline.
+``repro.tsdb`` / ``repro.hbase`` / ``repro.cluster``
+    The simulated ingestion and storage tier.
+``repro.sparklet``
+    The Spark-like batch dataflow engine.
+``repro.simdata``
+    The synthetic evaluation fleet.
+``repro.viz``
+    The static dashboard generator.
+``repro.bench``
+    The experiment harness regenerating every paper figure/table.
+"""
+
+from .core import (
+    AnomalyPipeline,
+    AnomalyReport,
+    CusumChart,
+    EwmaChart,
+    FDRDetector,
+    FDRDetectorConfig,
+    IncrementalMoments,
+    OfflineTrainer,
+    OnlineEvaluator,
+    PipelineResult,
+    ShewhartChart,
+    StreamingTrainer,
+    UnitModel,
+    aggregate_outcomes,
+    benjamini_hochberg,
+    bonferroni,
+    evaluate_flags,
+    family_wise_error_probability,
+)
+from .simdata import FaultKind, FaultSpec, FleetConfig, FleetGenerator
+from .sparklet import BlockStore, RowMatrix, SparkletContext, StreamingContext
+from .tsdb import (
+    AsyncQueryExecutor,
+    ClusterConfig,
+    DataPoint,
+    IngestionDriver,
+    QueryEngine,
+    TsdbCluster,
+    TsdbQuery,
+    build_cluster,
+)
+from .viz import Dashboard, DashboardConfig, FleetAnalytics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyPipeline",
+    "AnomalyReport",
+    "AsyncQueryExecutor",
+    "BlockStore",
+    "ClusterConfig",
+    "CusumChart",
+    "Dashboard",
+    "DashboardConfig",
+    "DataPoint",
+    "EwmaChart",
+    "FDRDetector",
+    "FDRDetectorConfig",
+    "FaultKind",
+    "FaultSpec",
+    "FleetAnalytics",
+    "FleetConfig",
+    "FleetGenerator",
+    "IncrementalMoments",
+    "IngestionDriver",
+    "OfflineTrainer",
+    "OnlineEvaluator",
+    "PipelineResult",
+    "QueryEngine",
+    "RowMatrix",
+    "ShewhartChart",
+    "SparkletContext",
+    "StreamingContext",
+    "StreamingTrainer",
+    "TsdbCluster",
+    "TsdbQuery",
+    "UnitModel",
+    "__version__",
+    "aggregate_outcomes",
+    "benjamini_hochberg",
+    "bonferroni",
+    "build_cluster",
+    "evaluate_flags",
+    "family_wise_error_probability",
+]

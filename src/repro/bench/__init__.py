@@ -1,0 +1,20 @@
+"""Benchmark harness: experiment registry and paper-comparison tables."""
+
+from .experiments import (
+    PAPER_FIG2_LEFT,
+    PAPER_ONLINE_THROUGHPUT,
+    REGISTRY,
+    run_ingestion,
+)
+from .harness import ExperimentRegistry, ExperimentResult, Table, format_rate
+
+__all__ = [
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "PAPER_FIG2_LEFT",
+    "PAPER_ONLINE_THROUGHPUT",
+    "REGISTRY",
+    "Table",
+    "format_rate",
+    "run_ingestion",
+]

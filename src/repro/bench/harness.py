@@ -1,0 +1,128 @@
+"""Experiment harness: tables, registries and the paper-comparison layout.
+
+Every experiment produces one or more :class:`Table` objects whose rows
+mirror what the paper reports (plus a ``paper`` column with the
+published value where one exists), so a bench run reads as a direct
+side-by-side.  EXPERIMENTS.md is generated from the same tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Table", "ExperimentResult", "ExperimentRegistry", "format_rate"]
+
+
+def format_rate(samples_per_second: float) -> str:
+    """Human throughput formatting: ``399.0k/s`` / ``1.2M/s``."""
+    if samples_per_second >= 1e6:
+        return f"{samples_per_second / 1e6:.2f}M/s"
+    if samples_per_second >= 1e3:
+        return f"{samples_per_second / 1e3:.1f}k/s"
+    return f"{samples_per_second:.0f}/s"
+
+
+class Table:
+    """A fixed-column ASCII table with aligned rendering."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[str]:
+        """One column's cells (for programmatic assertions in tests)."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise KeyError(header) from None
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    description: str
+    tables: List[Table]
+    notes: List[str] = field(default_factory=list)
+    numbers: Dict[str, float] = field(default_factory=dict)  # machine-readable headline values
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.description} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def to_markdown(self) -> str:
+        parts = [f"## {self.experiment_id} — {self.description}", ""]
+        for table in self.tables:
+            parts.append(table.to_markdown())
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"> {note}")
+        return "\n".join(parts)
+
+
+class ExperimentRegistry:
+    """Name → experiment-callable registry behind the CLI."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Callable[..., ExperimentResult]] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    def register(self, experiment_id: str, description: str):
+        def decorator(fn: Callable[..., ExperimentResult]):
+            key = experiment_id.lower()
+            if key in self._experiments:
+                raise ValueError(f"duplicate experiment {experiment_id}")
+            self._experiments[key] = fn
+            self._descriptions[key] = description
+            return fn
+
+        return decorator
+
+    def run(self, experiment_id: str, **kwargs) -> ExperimentResult:
+        key = experiment_id.lower()
+        if key not in self._experiments:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; available: {sorted(self._experiments)}"
+            )
+        return self._experiments[key](**kwargs)
+
+    def available(self) -> Dict[str, str]:
+        return dict(self._descriptions)

@@ -1,0 +1,103 @@
+"""Network latency model for simulated RPC.
+
+RPCs between simulated components are function calls delivered after a
+latency drawn from a simple model: a deterministic base (propagation +
+protocol overhead) plus optional exponential jitter.  Local calls
+(same hostname) use a much smaller base.
+
+The model is deliberately coarse — the paper's throughput results are
+dominated by server-side service capacity, not by the wire — but
+having *some* latency matters: it gives in-flight windows a meaning,
+which the backpressure proxy (E7) relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .simulation import EventHandle, Simulator
+
+__all__ = ["Network", "LatencyModel"]
+
+
+class LatencyModel:
+    """Base-plus-jitter one-way latency.
+
+    Parameters
+    ----------
+    base:
+        Deterministic one-way latency in seconds for remote calls.
+    jitter:
+        Mean of an exponential jitter term added on top (0 disables).
+    local_base:
+        Latency for same-host calls (loopback).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.0005,
+        jitter: float = 0.0,
+        local_base: float = 0.00005,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if base < 0 or jitter < 0 or local_base < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.jitter = jitter
+        self.local_base = local_base
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample(self, src_host: str, dst_host: str) -> float:
+        base = self.local_base if src_host == dst_host else self.base
+        if self.jitter > 0:
+            return base + float(self.rng.exponential(self.jitter))
+        return base
+
+
+class Network:
+    """Message-passing fabric: deliver callbacks after modelled latency.
+
+    Components address each other by hostname only for latency purposes;
+    delivery is a direct callback invocation.  Partitions can be
+    injected for failure testing: messages to/from a partitioned host
+    are silently dropped, as on a real network.
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else LatencyModel()
+        self._partitioned: set[str] = set()
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def partition(self, host: str) -> None:
+        """Cut a host off from the network."""
+        self._partitioned.add(host)
+
+    def heal(self, host: str) -> None:
+        """Restore a partitioned host."""
+        self._partitioned.discard(host)
+
+    def is_partitioned(self, host: str) -> bool:
+        return host in self._partitioned
+
+    def send(
+        self,
+        src_host: str,
+        dst_host: str,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> Optional[EventHandle]:
+        """Deliver ``callback(*args)`` at the destination after latency.
+
+        Returns the event handle, or ``None`` if the message was dropped
+        because either endpoint is partitioned.
+        """
+        if src_host in self._partitioned or dst_host in self._partitioned:
+            self.messages_dropped += 1
+            return None
+        self.messages_sent += 1
+        delay = self.latency.sample(src_host, dst_host)
+        return self.sim.schedule(delay, callback, *args)

@@ -1,0 +1,211 @@
+"""The FDR anomaly detector: offline training + online flagging.
+
+Training (§IV-A): per unit, estimate sensor means/stds, compute the
+covariance of the standardised training data, take its SVD (for a
+symmetric PSD matrix, the eigendecomposition), and keep the top-k
+eigenpairs plus the whitening map.  Evaluation: standardise incoming
+samples, form per-sensor window-mean test statistics, convert to
+p-values, and apply the Benjamini–Hochberg procedure *across sensors at
+each time step* so the expected proportion of false alarms among the
+flagged sensors stays below q — regardless of how many thousand sensors
+the unit carries.
+
+The whitened T² channel (optional, on by default) adds a unit-level
+multivariate alarm: correlated faults that are small per sensor but
+coherent across a factor group light up T² long before any marginal
+test fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .hypothesis import (
+    t2_pvalues,
+    t2_statistic,
+    two_sided_pvalues,
+    window_mean_zscores,
+)
+from .model import UnitModel
+from .multiple_testing import apply_procedure
+
+__all__ = ["FDRDetectorConfig", "AnomalyReport", "FDRDetector"]
+
+
+@dataclass(frozen=True)
+class FDRDetectorConfig:
+    """Detector hyperparameters.
+
+    Parameters
+    ----------
+    q:
+        Target false-discovery rate for per-sensor flags.
+    window:
+        Trailing window (samples) for the mean-shift statistic; 1 tests
+        individual samples (fastest reaction, least power for drifts).
+    procedure:
+        Multiple-testing procedure across sensors per time step
+        (``"bh"``, ``"by"``, ``"holm"``, ``"bonferroni"``, ``"none"``).
+    n_components:
+        Eigenpairs retained at training time; ``None`` keeps enough to
+        explain ``variance_target`` of the variance.
+    variance_target:
+        Fraction of standardised variance the retained components must
+        explain when ``n_components`` is None.
+    unit_alarm_alpha:
+        Significance level of the unit-level T² alarm.
+    use_t2:
+        Whether to compute the T² channel at all.
+    """
+
+    q: float = 0.05
+    window: int = 32
+    procedure: str = "bh"
+    n_components: Optional[int] = None
+    variance_target: float = 0.95
+    unit_alarm_alpha: float = 0.01
+    use_t2: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.variance_target <= 1.0:
+            raise ValueError("variance_target must be in (0, 1]")
+        if not 0.0 < self.unit_alarm_alpha < 1.0:
+            raise ValueError("unit_alarm_alpha must be in (0, 1)")
+
+
+@dataclass
+class AnomalyReport:
+    """Detection output for one unit window.
+
+    ``flags`` is the ``(T, p)`` boolean per-sensor anomaly mask after
+    FDR control; ``pvalues``/``zscores`` the underlying evidence;
+    ``unit_alarm`` a ``(T,)`` mask from the T² channel (all False when
+    disabled).
+    """
+
+    unit_id: int
+    flags: np.ndarray
+    pvalues: np.ndarray
+    zscores: np.ndarray
+    unit_alarm: np.ndarray
+    t2: np.ndarray
+    config: FDRDetectorConfig
+
+    @property
+    def n_discoveries(self) -> int:
+        return int(self.flags.sum())
+
+    def flagged_sensors(self) -> np.ndarray:
+        """Sensor indices with at least one flag, sorted."""
+        return np.flatnonzero(self.flags.any(axis=0))
+
+    def first_detection(self) -> Optional[int]:
+        """Earliest flagged time index (per-sensor or unit alarm), or None."""
+        any_flag = self.flags.any(axis=1) | self.unit_alarm
+        hits = np.flatnonzero(any_flag)
+        return int(hits[0]) if hits.size else None
+
+
+class FDRDetector:
+    """Offline-trained, online-evaluated FDR anomaly detector."""
+
+    def __init__(self, config: Optional[FDRDetectorConfig] = None, **overrides) -> None:
+        if config is None:
+            config = FDRDetectorConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # offline training
+    # ------------------------------------------------------------------
+    def fit(self, training_values: np.ndarray, unit_id: int = 0) -> UnitModel:
+        """Estimate a :class:`UnitModel` from fault-free training data.
+
+        ``training_values`` is ``(n, p)``.  The covariance is computed
+        on standardised data (the correlation matrix), so the
+        eigenstructure reflects cross-sensor coupling rather than raw
+        scale differences.
+        """
+        x = np.asarray(training_values, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise ValueError("training data must be (n >= 2, p)")
+        mean = x.mean(axis=0)
+        std = x.std(axis=0, ddof=1)
+        if np.any(std <= 0):
+            raise ValueError("every sensor needs non-zero training variance")
+        z = (x - mean) / std
+        cov = np.cov(z, rowvar=False)
+        cov = np.atleast_2d((cov + cov.T) / 2.0)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.clip(eigvals[order], 0.0, None)
+        eigvecs = eigvecs[:, order]
+        k = self._select_k(eigvals)
+        eigvals, eigvecs = eigvals[:k], eigvecs[:, :k]
+        whitening = eigvecs / np.sqrt(np.maximum(eigvals, 1e-12))
+        return UnitModel(
+            unit_id=unit_id,
+            mean=mean,
+            std=std,
+            eigenvalues=eigvals,
+            components=eigvecs,
+            whitening=whitening,
+            n_train=x.shape[0],
+        )
+
+    def _select_k(self, eigvals: np.ndarray) -> int:
+        if self.config.n_components is not None:
+            if not 1 <= self.config.n_components <= eigvals.size:
+                raise ValueError("n_components out of range")
+            return self.config.n_components
+        total = eigvals.sum()
+        if total <= 0:
+            return 1
+        ratio = np.cumsum(eigvals) / total
+        return int(np.searchsorted(ratio, self.config.variance_target) + 1)
+
+    # ------------------------------------------------------------------
+    # online evaluation
+    # ------------------------------------------------------------------
+    def detect(self, model: UnitModel, values: np.ndarray) -> AnomalyReport:
+        """Flag anomalies in an evaluation window ``(T, p)``.
+
+        Per time step, the p-values of all p sensors form one family and
+        the configured procedure controls its false discoveries.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != model.n_sensors:
+            raise ValueError(
+                f"values must be (T, {model.n_sensors}); got {x.shape}"
+            )
+        cfg = self.config
+        z = window_mean_zscores(x, model.mean, model.std, cfg.window)
+        pvalues = two_sided_pvalues(z)
+        flags = apply_procedure(cfg.procedure, pvalues, cfg.q)
+        if cfg.use_t2 and model.n_components > 0:
+            # Whiten the *instantaneous* standardised samples; T² reacts
+            # within one step to coherent multivariate excursions.
+            zs = (x - model.mean) / model.std
+            whitened = zs @ model.whitening
+            t2 = t2_statistic(whitened)
+            unit_alarm = t2_pvalues(t2, model.n_components) <= cfg.unit_alarm_alpha
+        else:
+            t2 = np.zeros(x.shape[0])
+            unit_alarm = np.zeros(x.shape[0], dtype=bool)
+        return AnomalyReport(
+            unit_id=model.unit_id,
+            flags=flags,
+            pvalues=pvalues,
+            zscores=z,
+            unit_alarm=unit_alarm,
+            t2=t2,
+            config=cfg,
+        )

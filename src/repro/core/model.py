@@ -1,0 +1,123 @@
+"""Trained model artifacts and their persistence.
+
+The offline trainer (§IV-A: covariance → SVD, results "cached to
+HDFS") produces one :class:`UnitModel` per unit.  The artifact holds
+everything the online evaluator needs — sensor means/stds and the
+top-k eigenpairs of the sensor covariance with the derived whitening
+map — and round-trips losslessly through the
+:class:`~repro.sparklet.storage.BlockStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sparklet.storage import BlockStore
+
+__all__ = ["UnitModel", "save_model", "load_model", "model_key"]
+
+
+@dataclass
+class UnitModel:
+    """Per-unit detection model.
+
+    Attributes
+    ----------
+    mean, std:
+        Per-sensor training mean and standard deviation, shape ``(p,)``.
+    eigenvalues:
+        Top-k eigenvalues of the *standardised* sensor covariance
+        (correlation matrix), descending, shape ``(k,)``.
+    components:
+        Matching eigenvectors, shape ``(p, k)``.
+    whitening:
+        ``components · diag(1/√λ)`` — maps standardised observations to
+        k independent N(0,1) coordinates under H₀, shape ``(p, k)``.
+    n_train:
+        Training sample count (documentation / sanity checks).
+    """
+
+    unit_id: int
+    mean: np.ndarray
+    std: np.ndarray
+    eigenvalues: np.ndarray
+    components: np.ndarray
+    whitening: np.ndarray
+    n_train: int
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=np.float64)
+        self.std = np.asarray(self.std, dtype=np.float64)
+        self.eigenvalues = np.asarray(self.eigenvalues, dtype=np.float64)
+        self.components = np.asarray(self.components, dtype=np.float64)
+        self.whitening = np.asarray(self.whitening, dtype=np.float64)
+        p = self.mean.shape[0]
+        k = self.eigenvalues.shape[0]
+        if self.std.shape != (p,):
+            raise ValueError("std must match mean's shape")
+        if np.any(self.std <= 0):
+            raise ValueError("sensor stds must be positive")
+        if self.components.shape != (p, k) or self.whitening.shape != (p, k):
+            raise ValueError("components/whitening must have shape (p, k)")
+        if k and np.any(np.diff(self.eigenvalues) > 1e-9):
+            raise ValueError("eigenvalues must be sorted descending")
+        if np.any(self.eigenvalues < 0):
+            raise ValueError("eigenvalues must be non-negative")
+        if self.n_train < 2:
+            raise ValueError("n_train must be >= 2")
+
+    @property
+    def n_sensors(self) -> int:
+        return self.mean.shape[0]
+
+    @property
+    def n_components(self) -> int:
+        return self.eigenvalues.shape[0]
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of (standardised) variance captured per component."""
+        total = float(self.n_sensors)
+        return self.eigenvalues / total
+
+
+def model_key(unit_id: int) -> str:
+    """BlockStore key for a unit's model."""
+    return f"unit-model-{unit_id:05d}"
+
+
+def save_model(store: BlockStore, model: UnitModel) -> str:
+    """Persist a model; returns its store key."""
+    key = model_key(model.unit_id)
+    store.put(
+        key,
+        {
+            "unit_id": np.array([model.unit_id], dtype=np.int64),
+            "mean": model.mean,
+            "std": model.std,
+            "eigenvalues": model.eigenvalues,
+            "components": model.components,
+            "whitening": model.whitening,
+            "n_train": np.array([model.n_train], dtype=np.int64),
+        },
+    )
+    return key
+
+
+def load_model(store: BlockStore, unit_id: int) -> Optional[UnitModel]:
+    """Load a unit's model, or None if never trained."""
+    key = model_key(unit_id)
+    if not store.exists(key):
+        return None
+    arrays = store.get(key)
+    return UnitModel(
+        unit_id=int(arrays["unit_id"][0]),
+        mean=arrays["mean"],
+        std=arrays["std"],
+        eigenvalues=arrays["eigenvalues"],
+        components=arrays["components"],
+        whitening=arrays["whitening"],
+        n_train=int(arrays["n_train"][0]),
+    )

@@ -1,0 +1,138 @@
+"""Online evaluation: the high-throughput scoring path.
+
+§IV-A: "Evaluation is thereby relatively fast requiring a single
+matrix multiplication per iteration ... we can evaluate for anomalies
+at a rate of 939,000 sensor samples per second on average."
+
+:class:`OnlineEvaluator` pre-binds everything derivable from the model
+(means, inverse stds, whitening map, χ² threshold, normal-quantile
+thresholds) so the steady-state cost per batch is: one subtraction,
+one multiply by the reciprocal stds, the window-mean update, a
+|z|-threshold comparison, and — only for time steps that survive the
+cheap pre-filter — the exact BH step-up.  The E5 benchmark measures
+this path in real wall-clock samples/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from .fdr import AnomalyReport, FDRDetectorConfig
+from .model import UnitModel
+from .multiple_testing import apply_procedure
+from .hypothesis import two_sided_pvalues
+
+__all__ = ["OnlineEvaluator", "StreamStats"]
+
+
+@dataclass
+class StreamStats:
+    """Running totals for a streaming evaluation session."""
+
+    samples: int = 0
+    batches: int = 0
+    discoveries: int = 0
+    unit_alarms: int = 0
+
+
+class OnlineEvaluator:
+    """Vectorised scorer bound to one trained :class:`UnitModel`."""
+
+    def __init__(self, model: UnitModel, config: Optional[FDRDetectorConfig] = None) -> None:
+        self.model = model
+        self.config = config if config is not None else FDRDetectorConfig()
+        self._inv_std = 1.0 / model.std
+        self._mean = model.mean
+        self._whitening = model.whitening if self.config.use_t2 else None
+        # Exact skip condition: any BH rejection requires p_(k) <= qk/m <= q,
+        # so a row whose max |z| is below the |z| at p = q cannot reject
+        # anything.  (A tighter per-rung prefilter would be unsound: the
+        # step-up can fire at rung k > 1 even when rung 1 fails.)
+        self._z_prefilter = float(stats.norm.isf(self.config.q / 2.0))
+        self._t2_threshold = (
+            float(stats.chi2.isf(self.config.unit_alarm_alpha, model.n_components))
+            if self.config.use_t2 and model.n_components > 0
+            else np.inf
+        )
+        self._carry: Optional[np.ndarray] = None  # window tail across batches
+        self.stats = StreamStats()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget cross-batch window state (new stream)."""
+        self._carry = None
+        self.stats = StreamStats()
+
+    def evaluate(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Score one batch ``(T, p)``.
+
+        Returns ``(flags, unit_alarm)`` — the per-sensor FDR-controlled
+        mask and the T² unit alarm.  Window state carries across calls,
+        so feeding a long window in chunks matches one-shot evaluation.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model.n_sensors:
+            raise ValueError(f"values must be (T, {self.model.n_sensors})")
+        z_inst = (x - self._mean) * self._inv_std
+        z_win = self._windowed(z_inst)
+
+        flags = np.zeros(z_win.shape, dtype=bool)
+        # Cheap prefilter, exact BH only where it can possibly fire.
+        candidate_rows = np.flatnonzero(
+            np.max(np.abs(z_win), axis=1) >= self._z_prefilter
+        )
+        if candidate_rows.size:
+            pvals = two_sided_pvalues(z_win[candidate_rows])
+            flags[candidate_rows] = apply_procedure(
+                self.config.procedure, pvals, self.config.q
+            )
+
+        if self._whitening is not None and self.model.n_components > 0:
+            whitened = z_inst @ self._whitening
+            t2 = np.einsum("ij,ij->i", whitened, whitened)
+            unit_alarm = t2 >= self._t2_threshold
+        else:
+            unit_alarm = np.zeros(x.shape[0], dtype=bool)
+
+        self.stats.samples += x.size
+        self.stats.batches += 1
+        self.stats.discoveries += int(flags.sum())
+        self.stats.unit_alarms += int(unit_alarm.sum())
+        return flags, unit_alarm
+
+    def evaluate_stream(
+        self, batches: Iterator[np.ndarray]
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Evaluate a stream of batches, yielding per-batch results."""
+        for batch in batches:
+            yield self.evaluate(batch)
+
+    # ------------------------------------------------------------------
+    def _windowed(self, z: np.ndarray) -> np.ndarray:
+        """Trailing-window mean z-scores with cross-batch carry."""
+        w = self.config.window
+        if w == 1:
+            return z
+        carry = self._carry
+        n_carry = 0 if carry is None else carry.shape[0]
+        stacked = z if carry is None else np.vstack([carry, z])
+        csum = np.cumsum(stacked, axis=0)
+        t_idx = np.arange(stacked.shape[0])
+        counts = np.minimum(t_idx + 1, w).astype(np.float64)
+        lagged = np.zeros_like(csum)
+        lagged[w:] = csum[:-w]
+        win = (csum - lagged) / np.sqrt(counts)[:, None]
+        # Keep the last (w-1) standardised rows for the next batch.
+        tail = stacked[-(w - 1):] if stacked.shape[0] >= w - 1 else stacked
+        self._carry = tail.copy()
+        return win[n_carry:]
+
+    def throughput_samples_per_second(self, elapsed_seconds: float) -> float:
+        """Convenience: sensor samples evaluated per wall-clock second."""
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed_seconds must be positive")
+        return self.stats.samples / elapsed_seconds

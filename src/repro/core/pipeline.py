@@ -1,0 +1,174 @@
+"""End-to-end anomaly pipeline: train → evaluate → publish to the TSDB.
+
+The integration layer gluing the three systems together, mirroring
+Figure 1: sensor data and *flagged anomalies* both live in OpenTSDB
+("Results from online evaluation are reported back to OpenTSDB for use
+by the integrated visualization tool"), the trainer runs as a sparklet
+batch job, and the visualization reads everything back through the
+query engine.
+
+Anomalies are stored under metric ``anomaly`` with the same
+``unit``/``sensor`` tags as the data; the stored value is the
+standardised test score at the flagged instant, so drill-down views
+can show severity.  Unit-level T² alarms are stored under
+``anomaly.unit`` with a ``unit`` tag only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..simdata.generator import FleetGenerator, UnitData
+from ..simdata.workload import METRIC, sensor_tag, unit_points, unit_tag
+from ..sparklet.context import SparkletContext
+from ..sparklet.storage import BlockStore
+from ..tsdb.ingest import TsdbCluster
+from ..tsdb.tsd import DataPoint
+from .fdr import AnomalyReport, FDRDetector, FDRDetectorConfig
+from .metrics import DetectionOutcome, evaluate_flags
+from .model import UnitModel
+from .online import OnlineEvaluator
+from .training import OfflineTrainer, TrainingResult
+
+__all__ = ["ANOMALY_METRIC", "UNIT_ALARM_METRIC", "PipelineResult", "AnomalyPipeline"]
+
+ANOMALY_METRIC = "anomaly"
+UNIT_ALARM_METRIC = "anomaly.unit"
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced, per unit."""
+
+    reports: Dict[int, AnomalyReport] = field(default_factory=dict)
+    outcomes: Dict[int, DetectionOutcome] = field(default_factory=dict)
+    points_published: int = 0
+    anomalies_published: int = 0
+
+    def total_discoveries(self) -> int:
+        return sum(r.n_discoveries for r in self.reports.values())
+
+
+class AnomalyPipeline:
+    """Drives the full train/evaluate/publish loop for a fleet.
+
+    Parameters
+    ----------
+    generator:
+        The synthetic fleet (§II-A dataset).
+    cluster:
+        The simulated TSDB deployment to publish into (optional; the
+        pipeline also works storage-less for pure detection studies).
+    store:
+        Block store for model artifacts.
+    config:
+        Detector configuration.
+    """
+
+    def __init__(
+        self,
+        generator: FleetGenerator,
+        cluster: Optional[TsdbCluster] = None,
+        store: Optional[BlockStore] = None,
+        config: Optional[FDRDetectorConfig] = None,
+        ctx: Optional[SparkletContext] = None,
+    ) -> None:
+        self.generator = generator
+        self.cluster = cluster
+        self.config = config if config is not None else FDRDetectorConfig()
+        self.ctx = ctx
+        self.store = store
+        self._models: Dict[int, UnitModel] = {}
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(
+        self, unit_ids: Optional[Sequence[int]] = None, n_train: int = 600
+    ) -> TrainingResult | List[int]:
+        """Train models for the units (sparklet job when ctx+store given)."""
+        units = list(unit_ids) if unit_ids is not None else list(self.generator.units())
+        if self.ctx is not None and self.store is not None:
+            trainer = OfflineTrainer(self.ctx, self.store, self.config)
+            result = trainer.train_fleet(self.generator, units, n_train)
+            self._models.update(trainer.load_models(units))
+            return result
+        detector = FDRDetector(self.config)
+        for unit_id in units:
+            window = self.generator.training_window(unit_id, n_train)
+            self._models[unit_id] = detector.fit(window.values, unit_id=unit_id)
+        return units
+
+    def model_for(self, unit_id: int) -> UnitModel:
+        try:
+            return self._models[unit_id]
+        except KeyError:
+            raise KeyError(f"unit {unit_id} has no trained model; call train() first") from None
+
+    # ------------------------------------------------------------------
+    # evaluation + publishing
+    # ------------------------------------------------------------------
+    def evaluate_unit(
+        self, unit_id: int, n_eval: int = 600, publish: bool = True
+    ) -> AnomalyReport:
+        """Score one unit's evaluation window; optionally publish results."""
+        model = self.model_for(unit_id)
+        window = self.generator.evaluation_window(unit_id, n_eval)
+        detector = FDRDetector(self.config)
+        report = detector.detect(model, window.values)
+        if publish and self.cluster is not None:
+            self._publish(window, report)
+        return report
+
+    def run(
+        self,
+        unit_ids: Optional[Sequence[int]] = None,
+        n_train: int = 600,
+        n_eval: int = 600,
+        publish: bool = True,
+    ) -> PipelineResult:
+        """Full loop over the fleet; returns reports and scored outcomes."""
+        units = list(unit_ids) if unit_ids is not None else list(self.generator.units())
+        self.train(units, n_train)
+        result = PipelineResult()
+        for unit_id in units:
+            window = self.generator.evaluation_window(unit_id, n_eval)
+            detector = FDRDetector(self.config)
+            report = detector.detect(self.model_for(unit_id), window.values)
+            result.reports[unit_id] = report
+            result.outcomes[unit_id] = evaluate_flags(report.flags, window.truth, unit_id)
+            if publish and self.cluster is not None:
+                data_n, anom_n = self._publish(window, report)
+                result.points_published += data_n
+                result.anomalies_published += anom_n
+        return result
+
+    # ------------------------------------------------------------------
+    def _publish(self, window: UnitData, report: AnomalyReport) -> tuple[int, int]:
+        """Write the window's sensor data and its flagged anomalies."""
+        assert self.cluster is not None
+        data_written = self.cluster.direct_put(unit_points(window))
+        anomaly_points = list(self._anomaly_points(window, report))
+        anom_written = self.cluster.direct_put(anomaly_points)
+        return data_written, anom_written
+
+    def _anomaly_points(self, window: UnitData, report: AnomalyReport):
+        utag = ("unit", unit_tag(window.unit_id))
+        rows, cols = np.nonzero(report.flags)
+        for row, sensor in zip(rows.tolist(), cols.tolist()):
+            yield DataPoint(
+                ANOMALY_METRIC,
+                window.start_time + row,
+                float(report.zscores[row, sensor]),
+                (("sensor", sensor_tag(sensor)), utag),
+            )
+        for row in np.flatnonzero(report.unit_alarm).tolist():
+            yield DataPoint(
+                UNIT_ALARM_METRIC,
+                window.start_time + row,
+                float(report.t2[row]),
+                (utag,),
+            )

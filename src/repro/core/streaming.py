@@ -1,0 +1,233 @@
+"""Streaming (online) training — the paper's §VI ongoing work.
+
+"Ongoing work for the project includes ... migrating our anomaly
+detection implementation to Spark Streaming for online training."
+
+Two pieces:
+
+* :class:`IncrementalMoments` — exact streaming estimation of per-sensor
+  means and the full covariance via Chan et al.'s pairwise batch-merge
+  update (a batched Welford).  After any sequence of ``update`` calls
+  the moments equal the batch computation over the concatenated data,
+  to floating-point round-off — the property the tests pin down.
+* :class:`StreamingTrainer` — consumes micro-batches of ``(unit_id,
+  samples)`` (e.g. from a :class:`repro.sparklet.streaming.DStream`),
+  maintains per-unit moment state, and refreshes each unit's
+  :class:`~repro.core.model.UnitModel` (eigendecomposition + whitening)
+  every ``refresh_every`` batches, so the online evaluator always scores
+  against a recent model without paying the SVD per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .fdr import FDRDetector, FDRDetectorConfig
+from .model import UnitModel
+
+__all__ = ["IncrementalMoments", "StreamingTrainer"]
+
+
+class IncrementalMoments:
+    """Exact streaming mean/covariance over batches of rows.
+
+    State after ``update`` calls with batches ``X₁..X_k`` equals the
+    batch statistics of ``vstack(X₁..X_k)``.  Uses the numerically
+    stable merge::
+
+        δ = μ_b − μ
+        M ← M + M_b + δδᵀ · n·n_b/(n+n_b)
+
+    where ``M`` is the centred sum-of-squares matrix.
+    """
+
+    def __init__(self, n_sensors: int) -> None:
+        if n_sensors < 1:
+            raise ValueError("n_sensors must be >= 1")
+        self.n_sensors = n_sensors
+        self.count = 0
+        self._mean = np.zeros(n_sensors)
+        self._m2 = np.zeros((n_sensors, n_sensors))
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold in a batch of shape ``(n_b, p)``."""
+        x = np.asarray(batch, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_sensors:
+            raise ValueError(f"batch must be (n, {self.n_sensors}); got {x.shape}")
+        n_b = x.shape[0]
+        if n_b == 0:
+            return
+        mean_b = x.mean(axis=0)
+        centred = x - mean_b
+        m2_b = centred.T @ centred
+        if self.count == 0:
+            self.count = n_b
+            self._mean = mean_b
+            self._m2 = m2_b
+            return
+        n = self.count
+        total = n + n_b
+        delta = mean_b - self._mean
+        self._mean = self._mean + delta * (n_b / total)
+        self._m2 = self._m2 + m2_b + np.outer(delta, delta) * (n * n_b / total)
+        self.count = total
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> np.ndarray:
+        if self.count == 0:
+            raise ValueError("no data seen yet")
+        return self._mean.copy()
+
+    def covariance(self) -> np.ndarray:
+        """Sample covariance (ddof=1)."""
+        if self.count < 2:
+            raise ValueError("covariance requires at least 2 samples")
+        cov = self._m2 / (self.count - 1)
+        return (cov + cov.T) / 2.0
+
+    def std(self) -> np.ndarray:
+        return np.sqrt(np.diag(self.covariance()))
+
+    def merge(self, other: "IncrementalMoments") -> "IncrementalMoments":
+        """Combine two independent accumulators (tree-reduction support)."""
+        if other.n_sensors != self.n_sensors:
+            raise ValueError("sensor-count mismatch")
+        out = IncrementalMoments(self.n_sensors)
+        if self.count == 0:
+            out.count, out._mean, out._m2 = other.count, other._mean.copy(), other._m2.copy()
+            return out
+        if other.count == 0:
+            out.count, out._mean, out._m2 = self.count, self._mean.copy(), self._m2.copy()
+            return out
+        n, n_b = self.count, other.count
+        total = n + n_b
+        delta = other._mean - self._mean
+        out.count = total
+        out._mean = self._mean + delta * (n_b / total)
+        out._m2 = self._m2 + other._m2 + np.outer(delta, delta) * (n * n_b / total)
+        return out
+
+
+@dataclass
+class _UnitState:
+    moments: IncrementalMoments
+    batches_since_refresh: int = 0
+    model: Optional[UnitModel] = None
+    refreshes: int = 0
+
+
+class StreamingTrainer:
+    """Per-unit online training with periodic model refresh.
+
+    Parameters
+    ----------
+    n_sensors:
+        Sensor count per unit (all units share the fleet schema).
+    config:
+        Detector configuration (governs component selection).
+    refresh_every:
+        Micro-batches between eigendecomposition refreshes per unit.
+    min_samples:
+        Samples required before the first model is produced.
+    on_model:
+        Optional callback fired with every refreshed :class:`UnitModel`
+        (e.g. to persist to a block store or hot-swap an evaluator).
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        config: Optional[FDRDetectorConfig] = None,
+        refresh_every: int = 5,
+        min_samples: int = 50,
+        on_model: Optional[Callable[[UnitModel], None]] = None,
+    ) -> None:
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.n_sensors = n_sensors
+        self.config = config if config is not None else FDRDetectorConfig()
+        self.refresh_every = refresh_every
+        self.min_samples = min_samples
+        self.on_model = on_model
+        self._units: Dict[int, _UnitState] = {}
+
+    # ------------------------------------------------------------------
+    def ingest(self, unit_id: int, batch: np.ndarray) -> Optional[UnitModel]:
+        """Fold one micro-batch in; returns a refreshed model if due."""
+        state = self._units.get(unit_id)
+        if state is None:
+            state = self._units[unit_id] = _UnitState(IncrementalMoments(self.n_sensors))
+        state.moments.update(batch)
+        state.batches_since_refresh += 1
+        due = (
+            state.moments.count >= self.min_samples
+            and (state.model is None or state.batches_since_refresh >= self.refresh_every)
+        )
+        if not due:
+            return None
+        model = self._refresh(unit_id, state)
+        state.batches_since_refresh = 0
+        return model
+
+    def ingest_pairs(self, pairs) -> List[UnitModel]:
+        """Ingest ``(unit_id, batch)`` records; returns refreshed models."""
+        out = []
+        for unit_id, batch in pairs:
+            model = self.ingest(unit_id, batch)
+            if model is not None:
+                out.append(model)
+        return out
+
+    def _refresh(self, unit_id: int, state: _UnitState) -> UnitModel:
+        moments = state.moments
+        mean = moments.mean
+        cov = moments.covariance()
+        std = np.sqrt(np.diag(cov))
+        if np.any(std <= 0):
+            raise ValueError(f"unit {unit_id}: degenerate sensor variance")
+        # correlation matrix = D^{-1/2} Σ D^{-1/2}
+        inv = 1.0 / std
+        corr = cov * np.outer(inv, inv)
+        eigvals, eigvecs = np.linalg.eigh((corr + corr.T) / 2.0)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.clip(eigvals[order], 0.0, None)
+        eigvecs = eigvecs[:, order]
+        k = FDRDetector(self.config)._select_k(eigvals)
+        eigvals, eigvecs = eigvals[:k], eigvecs[:, :k]
+        whitening = eigvecs / np.sqrt(np.maximum(eigvals, 1e-12))
+        model = UnitModel(
+            unit_id=unit_id,
+            mean=mean,
+            std=std,
+            eigenvalues=eigvals,
+            components=eigvecs,
+            whitening=whitening,
+            n_train=moments.count,
+        )
+        state.model = model
+        state.refreshes += 1
+        if self.on_model is not None:
+            self.on_model(model)
+        return model
+
+    # ------------------------------------------------------------------
+    def model_for(self, unit_id: int) -> Optional[UnitModel]:
+        state = self._units.get(unit_id)
+        return state.model if state else None
+
+    def samples_seen(self, unit_id: int) -> int:
+        state = self._units.get(unit_id)
+        return state.moments.count if state else 0
+
+    def refreshes(self, unit_id: int) -> int:
+        state = self._units.get(unit_id)
+        return state.refreshes if state else 0
+
+    def units(self) -> List[int]:
+        return sorted(self._units)

@@ -1,0 +1,73 @@
+"""HBase-like distributed, region-sharded key-value store (simulated).
+
+Data plane is real (cells written are cells read back); RPC timing,
+queueing and crashes are modelled on the :mod:`repro.cluster`
+discrete-event substrate.
+"""
+
+from .bytescodec import (
+    common_prefix_len,
+    concat,
+    decode_f64,
+    decode_u8,
+    decode_u16,
+    decode_u24,
+    decode_u32,
+    decode_u64,
+    encode_f64,
+    encode_u8,
+    encode_u16,
+    encode_u24,
+    encode_u32,
+    encode_u64,
+    increment_key,
+)
+from .client import HTableClient
+from .master import HMaster, TableNotFoundError
+from .region import Cell, Region, RegionInfo, StoreFile
+from .regionserver import (
+    GetRequest,
+    PutRequest,
+    RegionServer,
+    RpcReply,
+    ScanRequest,
+    ServiceModel,
+)
+from .wal import WriteAheadLog
+from .zookeeper import NodeExistsError, NoNodeError, Session, ZooKeeper
+
+__all__ = [
+    "Cell",
+    "GetRequest",
+    "HMaster",
+    "HTableClient",
+    "NoNodeError",
+    "NodeExistsError",
+    "PutRequest",
+    "Region",
+    "RegionInfo",
+    "RegionServer",
+    "RpcReply",
+    "ScanRequest",
+    "ServiceModel",
+    "Session",
+    "StoreFile",
+    "TableNotFoundError",
+    "WriteAheadLog",
+    "ZooKeeper",
+    "common_prefix_len",
+    "concat",
+    "decode_f64",
+    "decode_u16",
+    "decode_u24",
+    "decode_u32",
+    "decode_u64",
+    "decode_u8",
+    "encode_f64",
+    "encode_u16",
+    "encode_u24",
+    "encode_u32",
+    "encode_u64",
+    "encode_u8",
+    "increment_key",
+]

@@ -1,0 +1,137 @@
+"""Byte-level codecs for row keys and values.
+
+HBase orders rows lexicographically by their raw bytes, and OpenTSDB's
+whole key design (metric UID + base timestamp + tag UIDs, optionally
+salt-prefixed) depends on that ordering.  These helpers provide the
+fixed-width big-endian encodings the row-key codec builds on.
+
+All functions are pure and operate on :class:`bytes`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+__all__ = [
+    "encode_u8",
+    "encode_u16",
+    "encode_u24",
+    "encode_u32",
+    "encode_u64",
+    "decode_u8",
+    "decode_u16",
+    "decode_u24",
+    "decode_u32",
+    "decode_u64",
+    "encode_f64",
+    "decode_f64",
+    "concat",
+    "increment_key",
+    "common_prefix_len",
+]
+
+
+def _check_range(value: int, bits: int) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"value {value} out of range for u{bits}")
+
+
+def encode_u8(value: int) -> bytes:
+    """Encode an unsigned 8-bit integer, big-endian."""
+    _check_range(value, 8)
+    return bytes([value])
+
+
+def encode_u16(value: int) -> bytes:
+    """Encode an unsigned 16-bit integer, big-endian."""
+    _check_range(value, 16)
+    return struct.pack(">H", value)
+
+
+def encode_u24(value: int) -> bytes:
+    """Encode an unsigned 24-bit integer, big-endian.
+
+    OpenTSDB uses 3-byte UIDs for metrics and tags; 24 bits covers
+    ~16.7M distinct names.
+    """
+    _check_range(value, 24)
+    return struct.pack(">I", value)[1:]
+
+
+def encode_u32(value: int) -> bytes:
+    """Encode an unsigned 32-bit integer, big-endian (Unix timestamps)."""
+    _check_range(value, 32)
+    return struct.pack(">I", value)
+
+
+def encode_u64(value: int) -> bytes:
+    """Encode an unsigned 64-bit integer, big-endian."""
+    _check_range(value, 64)
+    return struct.pack(">Q", value)
+
+
+def decode_u8(data: bytes, offset: int = 0) -> int:
+    """Decode an unsigned 8-bit integer at ``offset``."""
+    return data[offset]
+
+
+def decode_u16(data: bytes, offset: int = 0) -> int:
+    """Decode a big-endian unsigned 16-bit integer at ``offset``."""
+    return struct.unpack_from(">H", data, offset)[0]
+
+
+def decode_u24(data: bytes, offset: int = 0) -> int:
+    """Decode a big-endian unsigned 24-bit integer at ``offset``."""
+    return int.from_bytes(data[offset : offset + 3], "big")
+
+
+def decode_u32(data: bytes, offset: int = 0) -> int:
+    """Decode a big-endian unsigned 32-bit integer at ``offset``."""
+    return struct.unpack_from(">I", data, offset)[0]
+
+
+def decode_u64(data: bytes, offset: int = 0) -> int:
+    """Decode a big-endian unsigned 64-bit integer at ``offset``."""
+    return struct.unpack_from(">Q", data, offset)[0]
+
+
+def encode_f64(value: float) -> bytes:
+    """Encode an IEEE-754 double, big-endian (TSDB cell values)."""
+    return struct.pack(">d", value)
+
+
+def decode_f64(data: bytes, offset: int = 0) -> float:
+    """Decode a big-endian IEEE-754 double at ``offset``."""
+    return struct.unpack_from(">d", data, offset)[0]
+
+
+def concat(parts: Iterable[bytes]) -> bytes:
+    """Concatenate byte fragments into one key."""
+    return b"".join(parts)
+
+
+def increment_key(key: bytes) -> bytes:
+    """Smallest key strictly greater than every key with prefix ``key``.
+
+    Used to form exclusive scan upper bounds: the byte string is
+    incremented like a big-endian integer, dropping trailing 0xFF bytes.
+    An all-0xFF (or empty) key has no successor prefix; we signal that
+    with ``b''`` which scanners treat as "end of table".
+    """
+    ba = bytearray(key)
+    while ba:
+        if ba[-1] != 0xFF:
+            ba[-1] += 1
+            return bytes(ba)
+        ba.pop()
+    return b""
+
+
+def common_prefix_len(a: bytes, b: bytes) -> int:
+    """Length of the longest common prefix of two byte strings."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n

@@ -1,0 +1,230 @@
+"""HBase client: row-key routing, retries and exponential backoff.
+
+The client looks up region locations from the master (the meta-table
+stand-in), groups batched puts per destination RegionServer, and retries
+retryable failures — queue overflow, regions in motion after a crash —
+with exponential backoff, exactly the behaviour the TSD daemons layer
+on top of.
+
+All operations are asynchronous: they return immediately and invoke the
+supplied callback when the RPC (including retries) resolves, in
+simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from ..cluster.metrics import MetricsRegistry
+from ..cluster.network import Network
+from ..cluster.simulation import Simulator
+from .master import HMaster
+from .region import Cell
+from .regionserver import GetRequest, PutRequest, RpcReply, ScanRequest
+
+__all__ = ["HTableClient"]
+
+
+class HTableClient:
+    """Asynchronous table client for the simulated cluster.
+
+    Parameters
+    ----------
+    host:
+        Hostname the client runs on (for network latency purposes).
+    max_retries:
+        Attempts per RPC before reporting permanent failure.
+    backoff_base, backoff_mult:
+        Exponential backoff schedule: retry ``k`` waits
+        ``backoff_base * backoff_mult**k`` seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        master: HMaster,
+        host: str,
+        max_retries: int = 8,
+        backoff_base: float = 0.02,
+        backoff_mult: float = 2.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.sim = sim
+        self.network = network
+        self.master = master
+        self.host = host
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_mult = backoff_mult
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # puts
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        table: str,
+        cells: List[Cell],
+        on_done: Optional[Callable[[bool, int], None]] = None,
+    ) -> None:
+        """Write a batch of cells; ``on_done(ok, n_cells)`` when resolved.
+
+        The batch is partitioned by destination server; each partition
+        succeeds or fails independently and ``on_done`` fires once per
+        partition with that partition's cell count (on failure too, so
+        callers can reconcile exactly how many cells each resolution
+        covers).
+        """
+        if not cells:
+            if on_done is not None:
+                on_done(True, 0)
+            return
+        groups = self._group_by_server(table, cells)
+        for server_name, group in groups.items():
+            self._send_put(table, server_name, group, 0, on_done)
+
+    def _group_by_server(self, table: str, cells: List[Cell]) -> Dict[Optional[str], List[Cell]]:
+        groups: Dict[Optional[str], List[Cell]] = defaultdict(list)
+        for cell in cells:
+            _, server_name = self.master.locate(table, cell.row)
+            groups[server_name].append(cell)
+        return groups
+
+    def _send_put(
+        self,
+        table: str,
+        server_name: Optional[str],
+        cells: List[Cell],
+        attempt: int,
+        on_done: Optional[Callable[[bool, int], None]],
+    ) -> None:
+        if server_name is None:
+            # Region currently unassigned (recovery in flight): back off and re-route.
+            self._retry_put(table, cells, attempt, on_done)
+            return
+        server = self.master.server(server_name)
+        request = PutRequest(table, cells)
+
+        def handle(reply: RpcReply) -> None:
+            if reply.ok:
+                self.metrics.counter("client.put_ok").inc(len(cells))
+                if on_done is not None:
+                    on_done(True, len(cells))
+            elif reply.retryable:
+                self._retry_put(table, cells, attempt, on_done)
+            else:
+                self._fail_put(cells, on_done)
+
+        self.network.send(self.host, server.node.hostname, server.rpc, request, handle, self.host)
+
+    def _retry_put(
+        self,
+        table: str,
+        cells: List[Cell],
+        attempt: int,
+        on_done: Optional[Callable[[bool, int], None]],
+    ) -> None:
+        if attempt >= self.max_retries:
+            self._fail_put(cells, on_done)
+            return
+        self.metrics.counter("client.retries").inc()
+        delay = self.backoff_base * (self.backoff_mult ** attempt)
+
+        def resend() -> None:
+            # Re-locate: assignments may have changed while backing off.
+            for server_name, group in self._group_by_server(table, cells).items():
+                self._send_put(table, server_name, group, attempt + 1, on_done)
+
+        self.sim.schedule(delay, resend)
+
+    def _fail_put(self, cells: List[Cell], on_done: Optional[Callable[[bool, int], None]]) -> None:
+        self.metrics.counter("client.put_failed").inc(len(cells))
+        if on_done is not None:
+            on_done(False, len(cells))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        table: str,
+        row: bytes,
+        qualifier: bytes,
+        on_done: Callable[[Optional[Cell]], None],
+    ) -> None:
+        """Point read; delivers the cell (or None) to ``on_done``."""
+        self._send_get(table, row, qualifier, 0, on_done)
+
+    def _send_get(
+        self,
+        table: str,
+        row: bytes,
+        qualifier: bytes,
+        attempt: int,
+        on_done: Callable[[Optional[Cell]], None],
+    ) -> None:
+        _, server_name = self.master.locate(table, row)
+        if server_name is None:
+            if attempt >= self.max_retries:
+                on_done(None)
+                return
+            delay = self.backoff_base * (self.backoff_mult ** attempt)
+            self.sim.schedule(delay, self._send_get, table, row, qualifier, attempt + 1, on_done)
+            return
+        server = self.master.server(server_name)
+
+        def handle(reply: RpcReply) -> None:
+            if reply.ok:
+                on_done(reply.result)  # type: ignore[arg-type]
+            elif reply.retryable and attempt < self.max_retries:
+                delay = self.backoff_base * (self.backoff_mult ** attempt)
+                self.sim.schedule(
+                    delay, self._send_get, table, row, qualifier, attempt + 1, on_done
+                )
+            else:
+                on_done(None)
+
+        self.network.send(
+            self.host, server.node.hostname, server.rpc,
+            GetRequest(table, row, qualifier), handle, self.host,
+        )
+
+    def scan(
+        self,
+        table: str,
+        start_row: bytes,
+        end_row: bytes,
+        on_done: Callable[[List[Cell]], None],
+    ) -> None:
+        """Range scan across all overlapping regions; results merged sorted."""
+        targets = self.master.locate_range(table, start_row, end_row)
+        servers = sorted({srv for _, srv in targets if srv is not None})
+        if not servers:
+            on_done([])
+            return
+        collected: List[Cell] = []
+        remaining = [len(servers)]
+
+        def handle(reply: RpcReply) -> None:
+            if reply.ok and reply.result:
+                collected.extend(reply.result)  # type: ignore[arg-type]
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                # Deduplicate cells that appear via multiple region scans.
+                seen = {}
+                for cell in collected:
+                    existing = seen.get(cell.key)
+                    if existing is None or cell.ts >= existing.ts:
+                        seen[cell.key] = cell
+                on_done(sorted(seen.values(), key=lambda c: c.key))
+
+        request = ScanRequest(table, start_row, end_row)
+        for name in servers:
+            server = self.master.server(name)
+            self.network.send(
+                self.host, server.node.hostname, server.rpc, request, handle, self.host
+            )

@@ -1,0 +1,336 @@
+"""HMaster: table catalog, region assignment, splits and crash recovery.
+
+The master is control-plane only — it never touches the data path, so
+its operations execute synchronously in simulated time.  It provides:
+
+* ``create_table`` with optional pre-split keys (the paper manually
+  pre-split regions so "each region handled an equal proportion of the
+  writes");
+* ``locate`` — the meta-table lookup clients use to route by row key;
+* crash recovery — on RegionServer death, memstores are discarded, the
+  WAL's durable prefix is replayed, and regions are re-assigned
+  round-robin across the survivors;
+* region splitting and a simple count-based balancer.
+
+Liveness is tracked through ZooKeeper ephemeral znodes, mirroring real
+HBase: each RegionServer holds a session with an ephemeral node under
+``/hbase/rs``; session expiry triggers recovery.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .region import Region, RegionInfo
+from .regionserver import RegionServer
+from .zookeeper import Session, ZooKeeper
+
+__all__ = ["HMaster", "TableNotFoundError"]
+
+
+class TableNotFoundError(KeyError):
+    """Lookup of a table that was never created."""
+
+
+@dataclass
+class _Assignment:
+    region: Region
+    server: Optional[str]  # None while unassigned (no live servers)
+
+
+class HMaster:
+    """Cluster coordinator for the simulated HBase deployment."""
+
+    def __init__(self, zk: Optional[ZooKeeper] = None) -> None:
+        self.zk = zk if zk is not None else ZooKeeper()
+        if not self.zk.exists("/hbase"):
+            self.zk.create("/hbase")
+        if not self.zk.exists("/hbase/rs"):
+            self.zk.create("/hbase/rs")
+        self._servers: Dict[str, RegionServer] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._tables: Dict[str, List[_Assignment]] = {}
+        # Per-table sorted region start keys, parallel to the assignment
+        # list, so ``locate`` is a binary search (clients call it per cell).
+        self._starts: Dict[str, List[bytes]] = {}
+        self._region_ids = itertools.count(1)
+        self._assign_cursor = 0
+        self.recoveries = 0
+        self.cells_lost_unsynced = 0
+        # Size-based auto-splitting (off by default: the paper split
+        # manually; see enable_auto_split).
+        self._auto_split_threshold: Optional[int] = None
+        self.auto_splits = 0
+
+    # ------------------------------------------------------------------
+    # server membership
+    # ------------------------------------------------------------------
+    def register_server(self, server: RegionServer) -> None:
+        """Add a RegionServer to the cluster (ephemeral znode + callbacks)."""
+        if server.name in self._servers:
+            raise ValueError(f"duplicate server {server.name}")
+        self._servers[server.name] = server
+        session = self.zk.connect()
+        self._sessions[server.name] = session
+        self.zk.create(f"/hbase/rs/{server.name}", ephemeral=True, session=session)
+        server.on_crash = self._handle_crash
+        server.on_restart = self._handle_restart
+
+    def live_servers(self) -> List[str]:
+        return sorted(
+            name for name, srv in self._servers.items() if not srv.crashed
+        )
+
+    def server(self, name: str) -> RegionServer:
+        return self._servers[name]
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        table: str,
+        split_keys: Optional[List[bytes]] = None,
+        retain_data: bool = True,
+    ) -> None:
+        """Create a table pre-split at ``split_keys`` (sorted, non-empty keys).
+
+        ``n`` split keys produce ``n + 1`` regions covering the whole
+        keyspace.  With no split keys the table starts as one region —
+        the configuration that exhibits the hot-spotting pathology E6
+        measures.
+        """
+        if table in self._tables:
+            raise ValueError(f"table {table!r} already exists")
+        keys = sorted(split_keys or [])
+        if any(not k for k in keys):
+            raise ValueError("split keys must be non-empty")
+        if len(set(keys)) != len(keys):
+            raise ValueError("split keys must be distinct")
+        boundaries = [b""] + keys + [b""]
+        assignments: List[_Assignment] = []
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            info = RegionInfo(table, start, end, next(self._region_ids))
+            assignments.append(_Assignment(Region(info, retain_data=retain_data), None))
+        self._tables[table] = assignments
+        self._starts[table] = [a.region.info.start_key for a in assignments]
+        for assignment in assignments:
+            self._assign(table, assignment)
+
+    def table_regions(self, table: str) -> List[Tuple[RegionInfo, Optional[str]]]:
+        """Region layout: ``[(info, server_name)]`` sorted by start key."""
+        return [(a.region.info, a.server) for a in self._assignments(table)]
+
+    def _assignments(self, table: str) -> List[_Assignment]:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise TableNotFoundError(table) from None
+
+    # ------------------------------------------------------------------
+    # routing (the meta table)
+    # ------------------------------------------------------------------
+    def locate(self, table: str, row: bytes) -> Tuple[RegionInfo, Optional[str]]:
+        """Which region serves ``row``, and on which server (binary search)."""
+        assignments = self._assignments(table)
+        starts = self._starts[table]
+        idx = bisect.bisect_right(starts, row) - 1
+        if idx < 0:
+            idx = 0  # pragma: no cover - first region starts at b"" by construction
+        assignment = assignments[idx]
+        if not assignment.region.info.contains(row):  # pragma: no cover - defensive
+            raise RuntimeError(f"no region covers row {row.hex()} in {table!r}")
+        return assignment.region.info, assignment.server
+
+    def locate_range(self, table: str, start: bytes, end: bytes) -> List[Tuple[RegionInfo, Optional[str]]]:
+        """All regions overlapping the scan range ``[start, end)``."""
+        out = []
+        for assignment in self._assignments(table):
+            info = assignment.region.info
+            if end and info.start_key and info.start_key >= end:
+                continue
+            if info.end_key and info.end_key <= start:
+                continue
+            out.append((info, assignment.server))
+        return out
+
+    def direct_scan(self, table: str, start_row: bytes = b"", end_row: bytes = b"") -> List:
+        """Administrative scan reading region data directly (no RPC timing).
+
+        Used by offline components — the TSDB query engine, tests, the
+        visualization pipeline — where simulated network timing is not
+        under study.  Returns cells sorted by ``(row, qualifier)``.
+        """
+        cells = []
+        for assignment in self._assignments(table):
+            cells.extend(assignment.region.scan(start_row, end_row))
+        cells.sort(key=lambda c: c.key)
+        return cells
+
+    # ------------------------------------------------------------------
+    # assignment / balancing
+    # ------------------------------------------------------------------
+    def _assign(self, table: str, assignment: _Assignment) -> None:
+        live = self.live_servers()
+        if not live:
+            assignment.server = None
+            return
+        name = live[self._assign_cursor % len(live)]
+        self._assign_cursor += 1
+        assignment.server = name
+        self._servers[name].open_region(assignment.region)
+
+    def move_region(self, table: str, region_name: str, dest: str) -> None:
+        """Relocate one region to ``dest`` (must be live)."""
+        if dest not in self._servers or self._servers[dest].crashed:
+            raise ValueError(f"destination server {dest!r} not live")
+        for assignment in self._assignments(table):
+            if assignment.region.info.name == region_name:
+                if assignment.server is not None:
+                    # Close flushes the memstore (HBase close semantics):
+                    # the old host's WAL stops being responsible for the
+                    # region's unflushed data once it moves away.
+                    assignment.region.flush()
+                    self._servers[assignment.server].close_region(region_name)
+                assignment.server = dest
+                self._servers[dest].open_region(assignment.region)
+                return
+        raise KeyError(f"region {region_name!r} not in table {table!r}")
+
+    def split_region(self, table: str, region_name: str, split_key: Optional[bytes] = None) -> Tuple[str, str]:
+        """Split a region (at ``split_key`` or its data midpoint).
+
+        Daughters are assigned round-robin, so splitting a hot region
+        spreads its load — the manual-split remedy from §III-B.
+        """
+        assignments = self._assignments(table)
+        for i, assignment in enumerate(assignments):
+            if assignment.region.info.name != region_name:
+                continue
+            key = split_key if split_key is not None else assignment.region.midpoint_key()
+            if key is None:
+                raise ValueError("region has too little data to auto-split")
+            left, right = assignment.region.split(
+                key, (next(self._region_ids), next(self._region_ids))
+            )
+            if assignment.server is not None:
+                self._servers[assignment.server].close_region(region_name)
+            la, ra = _Assignment(left, None), _Assignment(right, None)
+            assignments[i : i + 1] = [la, ra]
+            self._starts[table] = [a.region.info.start_key for a in assignments]
+            self._assign(table, la)
+            self._assign(table, ra)
+            return left.info.name, right.info.name
+        raise KeyError(f"region {region_name!r} not in table {table!r}")
+
+    def balance(self) -> int:
+        """Even out region counts across live servers.  Returns moves made."""
+        live = self.live_servers()
+        if not live:
+            return 0
+        loads: Dict[str, List[Tuple[str, str]]] = {name: [] for name in live}
+        for table, assignments in self._tables.items():
+            for a in assignments:
+                if a.server in loads:
+                    loads[a.server].append((table, a.region.info.name))
+        total = sum(len(v) for v in loads.values())
+        target = -(-total // len(live))  # ceil
+        moves = 0
+        overloaded = [(n, regions) for n, regions in loads.items() if len(regions) > target]
+        underloaded = [n for n, regions in loads.items() if len(regions) < target]
+        for name, regions in overloaded:
+            while len(regions) > target and underloaded:
+                dest = underloaded[0]
+                table, region_name = regions.pop()
+                self.move_region(table, region_name, dest)
+                loads[dest].append((table, region_name))
+                if len(loads[dest]) >= target:
+                    underloaded.pop(0)
+                moves += 1
+        return moves
+
+    # ------------------------------------------------------------------
+    # auto-splitting
+    # ------------------------------------------------------------------
+    def enable_auto_split(self, threshold_cells: int) -> None:
+        """Split any region whose live cell count exceeds the threshold.
+
+        The paper pre-split manually; production HBase splits by store
+        size.  Checks run via :meth:`run_auto_split_pass` (call it
+        periodically — e.g. from a simulator timer — like the real
+        split-checker chore).
+        """
+        if threshold_cells < 2:
+            raise ValueError("threshold must be >= 2 cells")
+        self._auto_split_threshold = threshold_cells
+
+    def disable_auto_split(self) -> None:
+        self._auto_split_threshold = None
+
+    def run_auto_split_pass(self) -> int:
+        """One split-checker sweep; returns the number of splits made."""
+        if self._auto_split_threshold is None:
+            return 0
+        splits = 0
+        for table in list(self._tables):
+            # snapshot: splitting mutates the assignment list
+            for assignment in list(self._assignments(table)):
+                region = assignment.region
+                if region.memstore_size == 0 and region.store_file_count == 0:
+                    continue  # empty region: skip the (costlier) exact count
+                if region.cell_count() <= self._auto_split_threshold:
+                    continue
+                if region.midpoint_key() is None:
+                    continue
+                self.split_region(table, region.info.name)
+                splits += 1
+                self.auto_splits += 1
+        return splits
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _handle_crash(self, server: RegionServer) -> None:
+        """WAL-based recovery: discard memstores, replay durable prefix, reassign."""
+        self.recoveries += 1
+        session = self._sessions.get(server.name)
+        if session is not None:
+            session.expire()
+        victims: List[_Assignment] = []
+        for assignments in self._tables.values():
+            for a in assignments:
+                if a.server == server.name:
+                    victims.append(a)
+        for a in victims:
+            a.region.discard_memstore()
+            server.close_region(a.region.info.name)
+            a.server = None
+        # Replay the durable WAL prefix; puts are idempotent (newest-wins).
+        replayed = 0
+        for cell in server.wal.replayable():
+            for a in victims:
+                if a.region.info.contains(cell.row):
+                    a.region.put(cell)
+                    replayed += 1
+                    break
+        self.cells_lost_unsynced += len(server.wal) - server.wal.durable_count
+        for a in victims:
+            # Flush after recovery replay (as real HBase does): the
+            # recovered edits become store files, so they no longer
+            # depend on the dead server's WAL — which the restart will
+            # discard.  Without this, a second crash of whichever server
+            # inherits the region would lose the recovered data.
+            a.region.flush()
+            self._assign(a.region.info.table, a)
+
+    def _handle_restart(self, server: RegionServer) -> None:
+        """Re-admit a restarted server and give it work again."""
+        session = self.zk.connect()
+        self._sessions[server.name] = session
+        path = f"/hbase/rs/{server.name}"
+        if not self.zk.exists(path):
+            self.zk.create(path, ephemeral=True, session=session)
+        self.balance()

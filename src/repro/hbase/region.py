@@ -1,0 +1,268 @@
+"""Regions: contiguous key-range shards backed by a mini-LSM tree.
+
+A region owns the half-open row-key interval ``[start_key, end_key)``
+(empty bytes meaning unbounded on either side, as in HBase).  Writes
+land in an in-memory *memstore*; when the memstore exceeds its flush
+threshold it is frozen into an immutable, sorted :class:`StoreFile`.
+Reads merge the memstore with all store files, newest first.  Minor
+compaction merges store files back into one.
+
+The data plane is real — cells written here are the cells the TSDB
+query engine later reads — while the *timing* of RPCs is modelled by
+the RegionServer's service loop, not here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Cell", "StoreFile", "Region", "RegionInfo"]
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One HBase cell: ``(row, qualifier) -> value`` at a write timestamp.
+
+    ``ts`` is a logical write timestamp used for newest-wins conflict
+    resolution between memstore and store files.
+    """
+
+    row: bytes
+    qualifier: bytes
+    value: bytes
+    ts: float
+
+    @property
+    def key(self) -> Tuple[bytes, bytes]:
+        return (self.row, self.qualifier)
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """Identity and key range of a region."""
+
+    table: str
+    start_key: bytes
+    end_key: bytes  # exclusive; b"" = unbounded
+    region_id: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.table},{self.start_key.hex()},{self.region_id}"
+
+    def contains(self, row: bytes) -> bool:
+        if row < self.start_key:
+            return False
+        if self.end_key and row >= self.end_key:
+            return False
+        return True
+
+
+class StoreFile:
+    """Immutable sorted run of cells (an HFile stand-in).
+
+    Cells are stored sorted by ``(row, qualifier)``; point lookups use
+    binary search, scans use slicing.  One entry per key (the flush
+    already deduplicated by newest timestamp).
+    """
+
+    def __init__(self, cells: List[Cell]) -> None:
+        self._cells = sorted(cells, key=lambda c: c.key)
+        self._keys = [c.key for c in self._cells]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, row: bytes, qualifier: bytes) -> Optional[Cell]:
+        i = bisect.bisect_left(self._keys, (row, qualifier))
+        if i < len(self._keys) and self._keys[i] == (row, qualifier):
+            return self._cells[i]
+        return None
+
+    def scan(self, start_row: bytes, end_row: bytes) -> Iterator[Cell]:
+        """Cells with ``start_row <= row < end_row`` (``b''`` end = unbounded)."""
+        lo = bisect.bisect_left(self._keys, (start_row, b""))
+        for cell in self._cells[lo:]:
+            if end_row and cell.row >= end_row:
+                break
+            yield cell
+
+    def cells(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+
+class Region:
+    """A key-range shard with memstore + store files.
+
+    Parameters
+    ----------
+    info:
+        Identity/key-range of the region.
+    flush_threshold:
+        Number of memstore entries that triggers an automatic flush.
+        Real HBase flushes on bytes; entries keep the model simple and
+        deterministic.
+    """
+
+    def __init__(
+        self,
+        info: RegionInfo,
+        flush_threshold: int = 100_000,
+        retain_data: bool = True,
+    ) -> None:
+        if flush_threshold < 1:
+            raise ValueError("flush_threshold must be >= 1")
+        self.info = info
+        self.flush_threshold = flush_threshold
+        self.retain_data = retain_data
+        self._memstore: Dict[Tuple[bytes, bytes], Cell] = {}
+        self._store_files: List[StoreFile] = []
+        self.writes = 0
+        self.flushes = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, cell: Cell) -> None:
+        """Insert/overwrite one cell.  Raises if the row is out of range."""
+        if not self.info.contains(cell.row):
+            raise KeyError(
+                f"row {cell.row.hex()} outside region range "
+                f"[{self.info.start_key.hex()}, {self.info.end_key.hex()})"
+            )
+        if not self.retain_data:
+            # Counting-only mode for pure-throughput ingestion studies:
+            # the write is accounted for but the bytes are discarded, so
+            # multi-million-sample simulations stay within memory.
+            self.writes += 1
+            return
+        existing = self._memstore.get(cell.key)
+        if existing is None or cell.ts >= existing.ts:
+            self._memstore[cell.key] = cell
+        self.writes += 1
+        if len(self._memstore) >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memstore into a new store file."""
+        if not self._memstore:
+            return
+        self._store_files.append(StoreFile(list(self._memstore.values())))
+        self._memstore.clear()
+        self.flushes += 1
+
+    def discard_memstore(self) -> int:
+        """Drop unflushed data (crash model).  Returns the number of cells lost.
+
+        Store files survive a RegionServer crash (they live on shared
+        storage); the memstore does not.  The master replays the WAL
+        after calling this, restoring acknowledged writes.
+        """
+        lost = len(self._memstore)
+        self._memstore.clear()
+        return lost
+
+    def compact(self) -> None:
+        """Minor compaction: merge all store files into one, newest-wins."""
+        if len(self._store_files) <= 1:
+            return
+        merged: Dict[Tuple[bytes, bytes], Cell] = {}
+        for sf in self._store_files:  # oldest first; later files overwrite
+            for cell in sf.cells():
+                existing = merged.get(cell.key)
+                if existing is None or cell.ts >= existing.ts:
+                    merged[cell.key] = cell
+        self._store_files = [StoreFile(list(merged.values()))]
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, row: bytes, qualifier: bytes) -> Optional[Cell]:
+        """Point lookup, newest version wins."""
+        best = self._memstore.get((row, qualifier))
+        for sf in reversed(self._store_files):
+            cell = sf.get(row, qualifier)
+            if cell is not None and (best is None or cell.ts > best.ts):
+                best = cell
+        return best
+
+    def scan(self, start_row: bytes = b"", end_row: bytes = b"") -> List[Cell]:
+        """Range scan, sorted by ``(row, qualifier)``, newest version wins.
+
+        Bounds are clamped to the region's own range.
+        """
+        lo = max(start_row, self.info.start_key)
+        hi = end_row
+        if self.info.end_key:
+            hi = self.info.end_key if not hi else min(hi, self.info.end_key)
+        merged: Dict[Tuple[bytes, bytes], Cell] = {}
+        for sf in self._store_files:
+            for cell in sf.scan(lo, hi):
+                existing = merged.get(cell.key)
+                if existing is None or cell.ts >= existing.ts:
+                    merged[cell.key] = cell
+        for key, cell in self._memstore.items():
+            row = key[0]
+            if row < lo or (hi and row >= hi):
+                continue
+            existing = merged.get(key)
+            if existing is None or cell.ts >= existing.ts:
+                merged[key] = cell
+        return sorted(merged.values(), key=lambda c: c.key)
+
+    # ------------------------------------------------------------------
+    # split support
+    # ------------------------------------------------------------------
+    @property
+    def memstore_size(self) -> int:
+        return len(self._memstore)
+
+    @property
+    def store_file_count(self) -> int:
+        return len(self._store_files)
+
+    def cell_count(self) -> int:
+        """Total live cells (deduplicated)."""
+        return len(self.scan())
+
+    def midpoint_key(self) -> Optional[bytes]:
+        """A row key that splits the live data roughly in half.
+
+        Returns ``None`` when the region holds fewer than two distinct
+        rows (nothing to split).
+        """
+        cells = self.scan()
+        rows = sorted({c.row for c in cells})
+        if len(rows) < 2:
+            return None
+        return rows[len(rows) // 2]
+
+    def split(self, split_key: bytes, new_region_ids: Tuple[int, int]) -> Tuple["Region", "Region"]:
+        """Split into two daughter regions at ``split_key``.
+
+        The parent must contain ``split_key`` strictly inside its range.
+        Live cells are rewritten into the daughters' memstores (real
+        HBase uses reference files; the observable result is the same).
+        """
+        if not self.info.contains(split_key) or split_key == self.info.start_key:
+            raise ValueError("split key must fall strictly inside the region range")
+        left_info = RegionInfo(self.info.table, self.info.start_key, split_key, new_region_ids[0])
+        right_info = RegionInfo(self.info.table, split_key, self.info.end_key, new_region_ids[1])
+        left = Region(left_info, self.flush_threshold, self.retain_data)
+        right = Region(right_info, self.flush_threshold, self.retain_data)
+        for cell in self.scan():
+            (left if cell.row < split_key else right).put(cell)
+        # Splitting must not inflate the write counters used for skew metrics.
+        left.writes = 0
+        right.writes = 0
+        return left, right
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Region {self.info.name} memstore={self.memstore_size} "
+            f"files={self.store_file_count}>"
+        )

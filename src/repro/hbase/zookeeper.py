@@ -1,0 +1,200 @@
+"""Minimal ZooKeeper-style coordination service.
+
+HBase uses ZooKeeper for RegionServer liveness (ephemeral znodes),
+master election and the location of the meta table.  This module
+provides the same three facilities over the simulated cluster: a
+hierarchical znode tree, sessions whose ephemeral nodes vanish on
+expiry, one-shot watches, and sequential znodes for leader election.
+
+The implementation is synchronous (calls take effect immediately in
+simulated time); session expiry is driven by explicit ``expire`` calls
+from failure-injection code rather than heartbeat timing, which keeps
+runs deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+__all__ = ["ZooKeeper", "Session", "NodeExistsError", "NoNodeError"]
+
+
+class NodeExistsError(KeyError):
+    """Create of an already-existing znode."""
+
+
+class NoNodeError(KeyError):
+    """Access to a missing znode."""
+
+
+class Session:
+    """A client session.  Ephemeral znodes die with it."""
+
+    _next_id = 0
+
+    def __init__(self, zk: "ZooKeeper") -> None:
+        self.zk = zk
+        self.session_id = Session._next_id
+        Session._next_id += 1
+        self.alive = True
+        self.ephemerals: Set[str] = set()
+
+    def expire(self) -> None:
+        """Expire the session, deleting its ephemeral znodes (fires watches)."""
+        if not self.alive:
+            return
+        self.alive = False
+        for path in sorted(self.ephemerals, reverse=True):
+            self.zk._delete_internal(path)
+        self.ephemerals.clear()
+
+
+class _ZNode:
+    __slots__ = ("data", "children", "ephemeral_session", "seq_counter")
+
+    def __init__(self, data: bytes = b"", ephemeral_session: Optional[Session] = None) -> None:
+        self.data = data
+        self.children: Set[str] = set()
+        self.ephemeral_session = ephemeral_session
+        self.seq_counter = 0
+
+
+def _parent(path: str) -> str:
+    idx = path.rfind("/")
+    return path[:idx] if idx > 0 else "/"
+
+
+class ZooKeeper:
+    """In-process znode tree with ephemeral/sequential nodes and watches."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _ZNode] = {"/": _ZNode()}
+        self._watches: Dict[str, List[Callable[[str, str], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def connect(self) -> Session:
+        return Session(self)
+
+    # ------------------------------------------------------------------
+    # znode CRUD
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        path: str,
+        data: bytes = b"",
+        ephemeral: bool = False,
+        sequential: bool = False,
+        session: Optional[Session] = None,
+    ) -> str:
+        """Create a znode; returns the actual path (suffixed if sequential)."""
+        self._validate(path)
+        parent_path = _parent(path)
+        parent = self._nodes.get(parent_path)
+        if parent is None:
+            raise NoNodeError(parent_path)
+        if ephemeral:
+            if session is None or not session.alive:
+                raise ValueError("ephemeral znodes require a live session")
+        if sequential:
+            path = f"{path}{parent.seq_counter:010d}"
+            parent.seq_counter += 1
+        if path in self._nodes:
+            raise NodeExistsError(path)
+        self._nodes[path] = _ZNode(data, session if ephemeral else None)
+        parent.children.add(path)
+        if ephemeral and session is not None:
+            session.ephemerals.add(path)
+        self._fire(parent_path, "child")
+        self._fire(path, "created")
+        return path
+
+    def exists(self, path: str) -> bool:
+        return path in self._nodes
+
+    def get(self, path: str) -> bytes:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        return node.data
+
+    def set(self, path: str, data: bytes) -> None:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        node.data = data
+        self._fire(path, "changed")
+
+    def get_children(self, path: str) -> List[str]:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        return sorted(node.children)
+
+    def delete(self, path: str) -> None:
+        node = self._nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        if node.children:
+            raise ValueError(f"znode {path} has children")
+        self._delete_internal(path)
+
+    def _delete_internal(self, path: str) -> None:
+        node = self._nodes.pop(path, None)
+        if node is None:
+            return
+        for child in list(node.children):
+            self._delete_internal(child)
+        parent = self._nodes.get(_parent(path))
+        if parent is not None:
+            parent.children.discard(path)
+        if node.ephemeral_session is not None:
+            node.ephemeral_session.ephemerals.discard(path)
+        self._fire(path, "deleted")
+        self._fire(_parent(path), "child")
+
+    # ------------------------------------------------------------------
+    # watches
+    # ------------------------------------------------------------------
+    def watch(self, path: str, callback: Callable[[str, str], None]) -> None:
+        """Register a one-shot watch; ``callback(path, event)`` on change.
+
+        ``event`` is one of ``created``/``changed``/``deleted``/``child``.
+        """
+        self._watches.setdefault(path, []).append(callback)
+
+    def _fire(self, path: str, event: str) -> None:
+        callbacks = self._watches.pop(path, [])
+        for cb in callbacks:
+            cb(path, event)
+
+    # ------------------------------------------------------------------
+    # leader election (standard sequential-ephemeral recipe)
+    # ------------------------------------------------------------------
+    def elect(self, election_path: str, candidate: str, session: Session) -> bool:
+        """Join an election; returns True if ``candidate`` is the leader.
+
+        Each candidate creates an ephemeral-sequential znode; the lowest
+        sequence number leads.  Call again after a watch fires to learn
+        about leadership changes.
+        """
+        if not self.exists(election_path):
+            self.create(election_path)
+        mine = None
+        for child in self.get_children(election_path):
+            node = self._nodes[child]
+            if node.ephemeral_session is session and node.data == candidate.encode():
+                mine = child
+                break
+        if mine is None:
+            mine = self.create(
+                f"{election_path}/n_", candidate.encode(), ephemeral=True,
+                sequential=True, session=session,
+            )
+        children = self.get_children(election_path)
+        return bool(children) and children[0] == mine
+
+    def _validate(self, path: str) -> None:
+        if not path.startswith("/") or path.endswith("/") or "//" in path:
+            raise ValueError(f"invalid znode path {path!r}")

@@ -1,0 +1,35 @@
+"""Synthetic evaluation dataset (§II-A of the paper).
+
+100 simulated units × 1000 sensors with three fault classes (pure
+noise / gradual degradation / sharp shift), cross-sensor correlation
+via a low-rank factor model, and streaming adapters that feed the
+ingestion layer.
+"""
+
+from .correlation import CorrelationModel
+from .faults import FaultKind, FaultSpec, fault_signal
+from .generator import FleetConfig, FleetGenerator, UnitData
+from .workload import (
+    METRIC,
+    fleet_stream,
+    ingest_stream,
+    sensor_tag,
+    unit_points,
+    unit_tag,
+)
+
+__all__ = [
+    "CorrelationModel",
+    "FaultKind",
+    "FaultSpec",
+    "FleetConfig",
+    "FleetGenerator",
+    "METRIC",
+    "UnitData",
+    "fault_signal",
+    "fleet_stream",
+    "ingest_stream",
+    "sensor_tag",
+    "unit_points",
+    "unit_tag",
+]

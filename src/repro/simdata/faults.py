@@ -1,0 +1,104 @@
+"""Fault models for the synthetic evaluation dataset.
+
+The paper (§II-A) models three primary fault categories:
+
+* **pure random noise** — no fault, the control class;
+* **gradual degradation** — a mean drift that grows linearly from the
+  fault onset (bearing wear, fouling);
+* **sharp shift** — a step change in the mean at onset (breakage,
+  sudden blockage).
+
+A fault affects a *correlated group* of sensors ("injected faults are
+correlated across sensors"): each affected sensor sees the fault signal
+scaled by a per-sensor loading weight.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultSpec", "fault_signal"]
+
+
+class FaultKind(enum.Enum):
+    """The paper's three §II-A categories."""
+
+    NONE = "none"
+    DRIFT = "drift"  # noise + gradual degradation signal
+    SHIFT = "shift"  # noise + sharp shift
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault on one unit.
+
+    Parameters
+    ----------
+    kind:
+        DRIFT or SHIFT (a NONE spec is never instantiated; healthy
+        units simply carry no specs).
+    onset:
+        Sample index (seconds at 1 Hz) at which the fault begins.
+    magnitude:
+        Fault severity in units of the sensor noise std.  For SHIFT it
+        is the step height; for DRIFT the mean reached after
+        ``ramp_seconds`` of degradation.
+    ramp_seconds:
+        DRIFT only: seconds over which the drift grows from 0 to
+        ``magnitude`` (continues growing at the same rate after).
+    sensor_weights:
+        Mapping sensor index -> loading in (0, 1]; the fault signal on
+        sensor ``j`` is ``magnitude * weight_j`` scaled by that
+        sensor's noise std.
+    """
+
+    kind: FaultKind
+    onset: int
+    magnitude: float
+    ramp_seconds: int = 300
+    sensor_weights: Tuple[Tuple[int, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind is FaultKind.NONE:
+            raise ValueError("FaultSpec is only for actual faults")
+        if self.onset < 0:
+            raise ValueError("onset must be non-negative")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        if self.kind is FaultKind.DRIFT and self.ramp_seconds < 1:
+            raise ValueError("ramp_seconds must be >= 1 for drift faults")
+        for sensor, weight in self.sensor_weights:
+            if sensor < 0:
+                raise ValueError("sensor indices must be non-negative")
+            if not 0.0 < weight <= 1.0:
+                raise ValueError("weights must be in (0, 1]")
+
+    @property
+    def sensors(self) -> Tuple[int, ...]:
+        return tuple(s for s, _ in self.sensor_weights)
+
+    def weights_dict(self) -> Dict[int, float]:
+        return dict(self.sensor_weights)
+
+
+def fault_signal(spec: FaultSpec, times: np.ndarray) -> np.ndarray:
+    """Unit-amplitude fault waveform at the given sample times.
+
+    Returns the *shape* (0 before onset; for SHIFT, 1 after onset; for
+    DRIFT, a ramp reaching 1 at ``onset + ramp_seconds`` and continuing
+    to grow).  Callers multiply by ``magnitude × weight × noise_std``.
+    """
+    t = np.asarray(times, dtype=np.float64)
+    active = t >= spec.onset
+    if spec.kind is FaultKind.SHIFT:
+        return active.astype(np.float64)
+    if spec.kind is FaultKind.DRIFT:
+        return np.where(active, (t - spec.onset) / spec.ramp_seconds, 0.0)
+    raise ValueError(f"unsupported fault kind {spec.kind}")  # pragma: no cover

@@ -1,0 +1,39 @@
+"""Sparklet: a from-scratch Spark-like batch dataflow engine.
+
+Lazy RDDs, hash-shuffled wide transformations, a stage-splitting DAG
+scheduler over a thread executor pool, distributed row-matrix linear
+algebra, and a checksummed block store — the substrate the paper's
+offline FDR training job runs on.
+"""
+
+from .context import Accumulator, Broadcast, SparkletContext
+from .linalg import RowMatrix
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .rdd import RDD, MapPartitionsRDD, ParallelCollectionRDD, ShuffledRDD, UnionRDD
+from .scheduler import DAGScheduler, JobMetrics
+from .shuffle import Aggregator, ShuffleManager
+from .storage import BlockCorruptionError, BlockStore
+from .streaming import DStream, StreamingContext
+
+__all__ = [
+    "Accumulator",
+    "Aggregator",
+    "BlockCorruptionError",
+    "BlockStore",
+    "Broadcast",
+    "DAGScheduler",
+    "DStream",
+    "HashPartitioner",
+    "JobMetrics",
+    "MapPartitionsRDD",
+    "ParallelCollectionRDD",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+    "RowMatrix",
+    "ShuffleManager",
+    "ShuffledRDD",
+    "SparkletContext",
+    "StreamingContext",
+    "UnionRDD",
+]

@@ -1,0 +1,71 @@
+"""Partitioners: how shuffled keys map to reduce partitions."""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Any, List, Sequence
+
+__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner"]
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic cross-run hash (Python's builtin is salted for str/bytes)."""
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, int):
+        return key & 0xFFFFFFFF
+    if isinstance(key, tuple):
+        h = 0x811C9DC5
+        for item in key:
+            h = (h * 31 + _stable_hash(item)) & 0xFFFFFFFF
+        return h
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class Partitioner:
+    """Maps keys to partition indices in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:  # pragma: no cover - dict key usage only
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Stable-hash modulo partitioning (Spark's default)."""
+
+    def partition(self, key: Any) -> int:
+        return _stable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Ordered partitioning on sampled split points (for sortBy).
+
+    ``bounds`` are the upper-exclusive split keys; keys above the last
+    bound go to the final partition.
+    """
+
+    def __init__(self, bounds: Sequence[Any]) -> None:
+        super().__init__(len(bounds) + 1)
+        self.bounds: List[Any] = list(bounds)
+
+    def partition(self, key: Any) -> int:
+        return bisect.bisect_right(self.bounds, key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RangePartitioner) and self.bounds == other.bounds
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return hash(("RangePartitioner", tuple(self.bounds)))

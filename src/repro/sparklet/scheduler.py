@@ -1,0 +1,118 @@
+"""DAG scheduler: stage splitting and task execution.
+
+Walks an RDD's lineage, materialises every un-run shuffle dependency in
+topological order (each is one *map stage*), then runs the final
+*result stage*.  Tasks within a stage are independent and execute on
+the context's executor pool; stage boundaries are barriers, exactly as
+in Spark.
+
+Map stages for independent shuffles at the same depth are themselves
+independent, but running them sequentially keeps the scheduler simple
+— the parallelism that matters (across partitions) is preserved.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from .rdd import RDD, ShuffleDependency
+
+__all__ = ["DAGScheduler", "JobMetrics"]
+
+
+class JobMetrics:
+    """Counters for one job run."""
+
+    def __init__(self) -> None:
+        self.stages = 0
+        self.tasks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<JobMetrics stages={self.stages} tasks={self.tasks}>"
+
+
+class DAGScheduler:
+    """Executes jobs for one :class:`~repro.sparklet.context.SparkletContext`."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self._completed_shuffles: set[int] = set()
+        self.last_job: Optional[JobMetrics] = None
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator], Any],
+        partitions: Optional[Sequence[int]] = None,
+    ) -> List[Any]:
+        """Run ``func`` over the given partitions of ``rdd`` (all by default)."""
+        metrics = JobMetrics()
+        for dep in self._pending_shuffles(rdd):
+            self._run_map_stage(dep, metrics)
+        if partitions is None:
+            partitions = range(rdd.num_partitions())
+        results = self._run_tasks(
+            [lambda split=split: func(self.ctx._iterator(rdd, split)) for split in partitions]
+        )
+        metrics.stages += 1
+        metrics.tasks += len(list(partitions))
+        self.last_job = metrics
+        return results
+
+    # ------------------------------------------------------------------
+    # stage planning
+    # ------------------------------------------------------------------
+    def _pending_shuffles(self, rdd: RDD) -> List[ShuffleDependency]:
+        """Un-materialised shuffle deps reachable from ``rdd``, parents first."""
+        ordered: List[ShuffleDependency] = []
+        seen_rdds: set[int] = set()
+        seen_shuffles: set[int] = set()
+
+        def visit(node: RDD) -> None:
+            if node.rdd_id in seen_rdds:
+                return
+            seen_rdds.add(node.rdd_id)
+            for dep in node.deps:
+                visit(dep.parent)
+                if isinstance(dep, ShuffleDependency):
+                    if (
+                        dep.shuffle_id not in self._completed_shuffles
+                        and dep.shuffle_id not in seen_shuffles
+                    ):
+                        seen_shuffles.add(dep.shuffle_id)
+                        ordered.append(dep)
+
+        visit(rdd)
+        return ordered
+
+    def _run_map_stage(self, dep: ShuffleDependency, metrics: JobMetrics) -> None:
+        parent = dep.parent
+        n = parent.num_partitions()
+
+        def make_task(split: int) -> Callable[[], None]:
+            def task() -> None:
+                records = self.ctx._iterator(parent, split)
+                self.ctx.shuffle_manager.write(
+                    dep.shuffle_id, split, records, dep.partitioner, dep.aggregator
+                )
+
+            return task
+
+        self._run_tasks([make_task(i) for i in range(n)])
+        self._completed_shuffles.add(dep.shuffle_id)
+        metrics.stages += 1
+        metrics.tasks += n
+
+    # ------------------------------------------------------------------
+    # task execution
+    # ------------------------------------------------------------------
+    def _run_tasks(self, tasks: List[Callable[[], Any]]) -> List[Any]:
+        executor: Optional[ThreadPoolExecutor] = self.ctx._executor
+        if executor is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [executor.submit(task) for task in tasks]
+        return [f.result() for f in futures]

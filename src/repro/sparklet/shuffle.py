@@ -1,0 +1,133 @@
+"""In-memory shuffle machinery.
+
+A wide dependency splits the job into stages.  The *map side* runs the
+parent partition, routes each record's key through the partitioner and
+(optionally) combines values locally (map-side combine, as Spark does
+for ``reduceByKey``).  Outputs land in the :class:`ShuffleManager`
+keyed by ``(shuffle_id, map_partition, reduce_partition)``.  The
+*reduce side* fetches its bucket from every map partition and merges.
+
+Thread-safety: map tasks for distinct partitions write disjoint slots,
+so a plain dict with a lock around registration suffices.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .partitioner import Partitioner
+
+__all__ = ["Aggregator", "ShuffleManager", "ShuffleWriteMetrics"]
+
+
+@dataclass
+class Aggregator:
+    """Combine-by-key functions (Spark's Aggregator).
+
+    ``create(v)`` makes the initial combiner from the first value,
+    ``merge_value(c, v)`` folds another value in, and
+    ``merge_combiners(c1, c2)`` merges across map partitions.
+    """
+
+    create: Callable[[Any], Any]
+    merge_value: Callable[[Any, Any], Any]
+    merge_combiners: Callable[[Any, Any], Any]
+
+
+@dataclass
+class ShuffleWriteMetrics:
+    records_in: int = 0
+    records_out: int = 0  # after map-side combine
+
+
+class ShuffleManager:
+    """Stores shuffle blocks for all jobs run by one context."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[Tuple[int, int, int], List[Tuple[Any, Any]]] = {}
+        self._maps_done: Dict[int, set] = {}
+        self._lock = threading.Lock()
+        self.metrics: Dict[int, ShuffleWriteMetrics] = {}
+
+    # ------------------------------------------------------------------
+    # map side
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        shuffle_id: int,
+        map_partition: int,
+        records: Iterable[Tuple[Any, Any]],
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator] = None,
+    ) -> None:
+        """Route one map partition's key-value records into reduce buckets."""
+        buckets: List[Dict[Any, Any] | List[Tuple[Any, Any]]]
+        metrics = self.metrics.setdefault(shuffle_id, ShuffleWriteMetrics())
+        n_in = 0
+        if aggregator is not None:
+            combined: List[Dict[Any, Any]] = [dict() for _ in range(partitioner.num_partitions)]
+            for key, value in records:
+                n_in += 1
+                bucket = combined[partitioner.partition(key)]
+                if key in bucket:
+                    bucket[key] = aggregator.merge_value(bucket[key], value)
+                else:
+                    bucket[key] = aggregator.create(value)
+            out: List[List[Tuple[Any, Any]]] = [list(b.items()) for b in combined]
+        else:
+            plain: List[List[Tuple[Any, Any]]] = [[] for _ in range(partitioner.num_partitions)]
+            for key, value in records:
+                n_in += 1
+                plain[partitioner.partition(key)].append((key, value))
+            out = plain
+        with self._lock:
+            metrics.records_in += n_in
+            for reduce_partition, block in enumerate(out):
+                metrics.records_out += len(block)
+                self._blocks[(shuffle_id, map_partition, reduce_partition)] = block
+            self._maps_done.setdefault(shuffle_id, set()).add(map_partition)
+
+    def maps_completed(self, shuffle_id: int) -> int:
+        with self._lock:
+            return len(self._maps_done.get(shuffle_id, ()))
+
+    # ------------------------------------------------------------------
+    # reduce side
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        shuffle_id: int,
+        reduce_partition: int,
+        num_map_partitions: int,
+        aggregator: Optional[Aggregator] = None,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Fetch and merge one reduce partition's blocks.
+
+        With an aggregator, map-side combiners are merged with
+        ``merge_combiners``; otherwise values are grouped into lists.
+        """
+        merged: Dict[Any, Any] = {}
+        grouped: Dict[Any, List[Any]] = {}
+        for map_partition in range(num_map_partitions):
+            block = self._blocks.get((shuffle_id, map_partition, reduce_partition), [])
+            if aggregator is not None:
+                for key, combiner in block:
+                    if key in merged:
+                        merged[key] = aggregator.merge_combiners(merged[key], combiner)
+                    else:
+                        merged[key] = combiner
+            else:
+                for key, value in block:
+                    grouped.setdefault(key, []).append(value)
+        source = merged if aggregator is not None else grouped
+        return iter(source.items())
+
+    def free(self, shuffle_id: int) -> None:
+        """Drop a shuffle's blocks (job GC)."""
+        with self._lock:
+            for key in [k for k in self._blocks if k[0] == shuffle_id]:
+                del self._blocks[key]
+            self._maps_done.pop(shuffle_id, None)
+            self.metrics.pop(shuffle_id, None)

@@ -1,0 +1,213 @@
+"""Micro-batch stream processing (the Spark Streaming substrate).
+
+The paper's §VI lists "migrating our anomaly detection implementation
+to Spark Streaming for online training" as ongoing work.  This module
+provides the D-Stream model from the Spark Streaming paper (Zaharia et
+al., SOSP'13) at the scale this project needs: a stream is a sequence
+of *micro-batches*, each processed as an ordinary RDD on the batch
+engine, so streaming computations reuse the exact same operators —
+and the same fault-tolerance story — as batch ones.
+
+Sources are pull-based (``queue_stream`` / ``generator_stream``);
+``StreamingContext.run`` drives a fixed number of intervals, which
+keeps tests deterministic (no wall-clock coupling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, Iterator, List, Optional, Tuple
+
+from .context import SparkletContext
+from .rdd import RDD
+
+__all__ = ["DStream", "StreamingContext"]
+
+
+class StreamingContext:
+    """Drives micro-batch rounds over a batch :class:`SparkletContext`."""
+
+    def __init__(self, sc: SparkletContext, batch_interval: float = 1.0) -> None:
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        self.sc = sc
+        self.batch_interval = batch_interval
+        self._sources: List["_SourceDStream"] = []
+        self.batches_processed = 0
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def queue_stream(self, batches: Iterable[List[Any]]) -> "DStream":
+        """A stream fed from a pre-built sequence of micro-batches."""
+        source = _SourceDStream(self, iter(batches))
+        self._sources.append(source)
+        return source
+
+    def generator_stream(self, generator: Iterator[List[Any]]) -> "DStream":
+        """A stream fed lazily from a generator of micro-batches."""
+        source = _SourceDStream(self, generator)
+        self._sources.append(source)
+        return source
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, num_intervals: Optional[int] = None) -> int:
+        """Process up to ``num_intervals`` micro-batches (all, if None).
+
+        Each interval pulls one batch from every source, pushes it down
+        the DStream graph, and fires the registered outputs.  Returns
+        the number of intervals actually processed (a source running
+        dry ends the stream).
+        """
+        if not self._sources:
+            raise RuntimeError("no stream sources registered")
+        processed = 0
+        while num_intervals is None or processed < num_intervals:
+            time_index = self.batches_processed
+            alive = False
+            for source in self._sources:
+                if source._advance(time_index):
+                    alive = True
+            if not alive:
+                break
+            self.batches_processed += 1
+            processed += 1
+        return processed
+
+
+class DStream:
+    """A discretised stream: one RDD per micro-batch interval."""
+
+    def __init__(self, ssc: StreamingContext) -> None:
+        self.ssc = ssc
+        self._children: List[Callable[[int, RDD], None]] = []
+
+    # ------------------------------------------------------------------
+    # graph wiring
+    # ------------------------------------------------------------------
+    def _emit(self, time_index: int, rdd: RDD) -> None:
+        for child in self._children:
+            child(time_index, rdd)
+
+    def _derive(self, transform_rdd: Callable[[int, RDD], Optional[RDD]]) -> "DStream":
+        child = DStream(self.ssc)
+
+        def on_batch(time_index: int, rdd: RDD) -> None:
+            out = transform_rdd(time_index, rdd)
+            if out is not None:
+                child._emit(time_index, out)
+
+        self._children.append(on_batch)
+        return child
+
+    # ------------------------------------------------------------------
+    # transformations (each micro-batch independently)
+    # ------------------------------------------------------------------
+    def map(self, f: Callable[[Any], Any]) -> "DStream":
+        return self._derive(lambda _t, rdd: rdd.map(f))
+
+    def flat_map(self, f: Callable[[Any], Iterable[Any]]) -> "DStream":
+        return self._derive(lambda _t, rdd: rdd.flat_map(f))
+
+    def filter(self, f: Callable[[Any], bool]) -> "DStream":
+        return self._derive(lambda _t, rdd: rdd.filter(f))
+
+    def transform(self, f: Callable[[RDD], RDD]) -> "DStream":
+        """Arbitrary RDD-to-RDD transformation per interval."""
+        return self._derive(lambda _t, rdd: f(rdd))
+
+    def reduce_by_key(self, f: Callable[[Any, Any], Any]) -> "DStream":
+        return self._derive(lambda _t, rdd: rdd.reduce_by_key(f))
+
+    def count_by_value(self) -> "DStream":
+        return self._derive(
+            lambda _t, rdd: rdd.map(lambda x: (x, 1)).reduce_by_key(lambda a, b: a + b)
+        )
+
+    # ------------------------------------------------------------------
+    # windowed transformations
+    # ------------------------------------------------------------------
+    def window(self, window_length: int, slide: int = 1) -> "DStream":
+        """Union of the last ``window_length`` micro-batches, every ``slide``.
+
+        Lengths are in intervals (the D-Stream convention divided by the
+        batch interval).
+        """
+        if window_length < 1 or slide < 1:
+            raise ValueError("window_length and slide must be >= 1")
+        buffer: Deque[RDD] = deque(maxlen=window_length)
+
+        def on_batch(_t: int, rdd: RDD) -> Optional[RDD]:
+            buffer.append(rdd)
+            if (_t + 1) % slide != 0:
+                return None
+            union = buffer[0]
+            for nxt in list(buffer)[1:]:
+                union = union.union(nxt)
+            return union
+
+        return self._derive(on_batch)
+
+    def reduce_by_key_and_window(
+        self, f: Callable[[Any, Any], Any], window_length: int, slide: int = 1
+    ) -> "DStream":
+        return self.window(window_length, slide).reduce_by_key(f)
+
+    # ------------------------------------------------------------------
+    # stateful transformation
+    # ------------------------------------------------------------------
+    def update_state_by_key(
+        self, update: Callable[[List[Any], Any], Any]
+    ) -> "DStream":
+        """Running per-key state: ``update(new_values, old_state) -> state``.
+
+        Emits the full state map each interval (as Spark Streaming
+        does).  ``old_state`` is ``None`` for unseen keys; returning
+        ``None`` drops the key.
+        """
+        state: dict = {}
+
+        def on_batch(_t: int, rdd: RDD) -> RDD:
+            grouped = dict(rdd.group_by_key().collect())
+            for key in set(state) | set(grouped):
+                new_state = update(grouped.get(key, []), state.get(key))
+                if new_state is None:
+                    state.pop(key, None)
+                else:
+                    state[key] = new_state
+            return self.ssc.sc.parallelize(sorted(state.items()))
+
+        return self._derive(on_batch)
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def foreach_rdd(self, f: Callable[[int, RDD], None]) -> None:
+        """Register an output action run on every interval's RDD."""
+        self._children.append(f)
+
+    def collect_batches(self, sink: List[List[Any]]) -> None:
+        """Convenience output: append each micro-batch's elements to ``sink``."""
+        self.foreach_rdd(lambda _t, rdd: sink.append(rdd.collect()))
+
+
+class _SourceDStream(DStream):
+    """Root stream pulling micro-batches from an iterator."""
+
+    def __init__(self, ssc: StreamingContext, batches: Iterator[List[Any]]) -> None:
+        super().__init__(ssc)
+        self._batches = batches
+        self._exhausted = False
+
+    def _advance(self, time_index: int) -> bool:
+        if self._exhausted:
+            return False
+        batch = next(self._batches, None)
+        if batch is None:
+            self._exhausted = True
+            return False
+        rdd = self.ssc.sc.parallelize(list(batch))
+        self._emit(time_index, rdd)
+        return True

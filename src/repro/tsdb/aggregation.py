@@ -1,0 +1,146 @@
+"""Series aggregation and downsampling.
+
+Vectorised (NumPy) implementations of the OpenTSDB aggregation
+semantics the query engine needs: combining multiple series into one
+(``sum``/``avg``/``min``/``max``/``count``/``dev``), downsampling a
+single series onto fixed windows, and rate conversion.
+
+Series are represented as a pair of parallel arrays ``(timestamps,
+values)`` with ``timestamps`` strictly increasing ``int64`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Series", "AGGREGATORS", "aggregate", "downsample", "rate", "align_union"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One time series with identifying tags."""
+
+    tags: Tuple[Tuple[str, str], ...]
+    timestamps: np.ndarray  # int64 seconds, strictly increasing
+    values: np.ndarray  # float64
+
+    def __post_init__(self) -> None:
+        ts, vs = np.asarray(self.timestamps), np.asarray(self.values)
+        if ts.shape != vs.shape or ts.ndim != 1:
+            raise ValueError("timestamps and values must be 1-D and equal length")
+        if len(ts) > 1 and not np.all(np.diff(ts) > 0):
+            raise ValueError("timestamps must be strictly increasing")
+        object.__setattr__(self, "timestamps", ts.astype(np.int64))
+        object.__setattr__(self, "values", vs.astype(np.float64))
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def tag_dict(self) -> Dict[str, str]:
+        return dict(self.tags)
+
+
+def _nan_agg(fn: Callable[..., np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
+    return lambda stack: fn(stack, axis=0)
+
+
+AGGREGATORS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sum": _nan_agg(np.nansum),
+    "avg": _nan_agg(np.nanmean),
+    "min": _nan_agg(np.nanmin),
+    "max": _nan_agg(np.nanmax),
+    "count": lambda stack: np.sum(~np.isnan(stack), axis=0).astype(np.float64),
+    "dev": _nan_agg(np.nanstd),
+}
+
+# Scalar reductions over one window (used by downsampling).
+_SCALAR_AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
+    "sum": lambda g: float(np.nansum(g)),
+    "avg": lambda g: float(np.nanmean(g)),
+    "min": lambda g: float(np.nanmin(g)),
+    "max": lambda g: float(np.nanmax(g)),
+    "count": lambda g: float(np.sum(~np.isnan(g))),
+    "dev": lambda g: float(np.nanstd(g)),
+}
+
+
+def align_union(series: Sequence[Series]) -> Tuple[np.ndarray, np.ndarray]:
+    """Align series on the union of their timestamps.
+
+    Returns ``(times, stack)`` where ``stack[i, j]`` is series ``i``'s
+    value at ``times[j]`` or NaN where the series has no sample (the
+    OpenTSDB interpolation policy simplified to "missing = absent",
+    which is correct for the 1 Hz aligned sensor data this system
+    ingests).
+    """
+    if not series:
+        return np.empty(0, dtype=np.int64), np.empty((0, 0))
+    times = np.unique(np.concatenate([s.timestamps for s in series]))
+    stack = np.full((len(series), len(times)), np.nan)
+    for i, s in enumerate(series):
+        idx = np.searchsorted(times, s.timestamps)
+        stack[i, idx] = s.values
+    return times, stack
+
+
+def aggregate(series: Sequence[Series], aggregator: str) -> Series:
+    """Combine many series into one using the named aggregator.
+
+    Tags kept are those common to (identical across) all inputs, as in
+    OpenTSDB's group-by output.
+    """
+    if aggregator not in AGGREGATORS:
+        raise ValueError(f"unknown aggregator {aggregator!r}; choose from {sorted(AGGREGATORS)}")
+    if not series:
+        raise ValueError("cannot aggregate zero series")
+    if len(series) == 1:
+        return series[0]
+    times, stack = align_union(series)
+    values = AGGREGATORS[aggregator](stack)
+    common = set(series[0].tags)
+    for s in series[1:]:
+        common &= set(s.tags)
+    return Series(tuple(sorted(common)), times, values)
+
+
+def downsample(series: Series, window: int, aggregator: str = "avg") -> Series:
+    """Downsample onto fixed windows of ``window`` seconds.
+
+    Each output point sits at the window start (OpenTSDB convention);
+    empty windows produce no point.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1 second")
+    if aggregator not in _SCALAR_AGGREGATORS:
+        raise ValueError(f"unknown aggregator {aggregator!r}")
+    if len(series) == 0:
+        return series
+    buckets = (series.timestamps // window) * window
+    # Group contiguous runs of equal bucket (timestamps are sorted).
+    boundaries = np.flatnonzero(np.diff(buckets)) + 1
+    groups = np.split(series.values, boundaries)
+    out_times = buckets[np.concatenate(([0], boundaries))] if len(boundaries) else buckets[:1]
+    agg = _SCALAR_AGGREGATORS[aggregator]
+    out_values = np.array([agg(g) for g in groups])
+    return Series(series.tags, out_times, out_values)
+
+
+def rate(series: Series, counter: bool = False, max_value: float | None = None) -> Series:
+    """First-difference rate (per second), as OpenTSDB's ``rate`` option.
+
+    With ``counter=True`` negative deltas are treated as counter wraps
+    at ``max_value`` (default: 2**64).
+    """
+    if len(series) < 2:
+        return Series(series.tags, series.timestamps[:0], series.values[:0])
+    dt = np.diff(series.timestamps).astype(np.float64)
+    dv = np.diff(series.values)
+    if counter:
+        wrap = max_value if max_value is not None else float(2**64)
+        negative = dv < 0
+        dv = np.where(negative, dv + wrap, dv)
+    return Series(series.tags, series.timestamps[1:], dv / dt)

@@ -1,0 +1,371 @@
+"""Cluster assembly and ingestion drivers.
+
+``build_cluster`` wires a complete simulated deployment — master,
+RegionServers (one per node, as in the paper), TSD daemons (one per
+node), row-key codec, UID registry, and either the buffering reverse
+proxy or a fire-and-forget submitter.  ``IngestionDriver`` offers load
+from a workload generator at a configured sample rate and produces the
+measurements Figure 2 and the E6/E7 ablations report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..cluster.failures import OverflowCrashPolicy
+from ..cluster.metrics import MetricsRegistry, TimeSeriesRecorder, skew_ratio
+from ..cluster.network import LatencyModel, Network
+from ..cluster.node import Node
+from ..cluster.simulation import Simulator
+from ..hbase.master import HMaster
+from ..hbase.regionserver import RegionServer, ServiceModel
+from ..hbase.zookeeper import ZooKeeper
+from .proxy import DirectSubmitter, ReverseProxy
+from .query import QueryEngine
+from .rowkey import RowKeyCodec
+from .tsd import DATA_TABLE, DataPoint, PutAck, TSDaemon, TSDServiceModel
+from .uid import UniqueIdRegistry
+
+__all__ = ["ClusterConfig", "TsdbCluster", "build_cluster", "IngestionDriver", "IngestionReport"]
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for a simulated ingestion deployment.
+
+    Defaults reproduce the paper's tuned configuration: salted keys,
+    regions pre-split per salt bucket, the buffering reverse proxy on,
+    compaction off, WAL on.
+    """
+
+    n_nodes: int = 30
+    salt_buckets: Optional[int] = None  # None -> multiple of n_nodes, >= 192
+    use_proxy: bool = True
+    proxy_max_in_flight: Optional[int] = None  # None -> 48 * n_nodes
+    rs_queue_capacity: int = 256
+    tsd_queue_capacity: int = 1024
+    rpc_batch_size: int = 50
+    retain_data: bool = False
+    compaction_enabled: bool = False
+    crash_on_overflow: bool = True
+    crash_reject_budget: int = 500
+    crash_window: float = 1.0
+    crash_restart_delay: float = 5.0
+    direct_spray: bool = True  # fire-and-forget mode: round-robin vs single TSD
+    service_model: ServiceModel = field(default_factory=ServiceModel)
+    tsd_service_model: TSDServiceModel = field(default_factory=TSDServiceModel)
+
+    def resolved_salt_buckets(self) -> int:
+        """Default bucket count: a multiple of ``n_nodes`` of at least 128.
+
+        The paper's one-byte random salt gives ~256 buckets over 29
+        RegionServers — many buckets per server, so per-bucket hash
+        imbalance averages out.  Making the count a node multiple keeps
+        the round-robin region assignment exactly even.
+        """
+        if self.salt_buckets is None:
+            per_node = -(-128 // self.n_nodes)  # ceil
+            return min(256, self.n_nodes * per_node)
+        return self.salt_buckets
+
+    def resolved_proxy_window(self) -> int:
+        """Default in-flight window: sized to the bandwidth-delay product.
+
+        Cluster capacity grows with node count while the dominant ack
+        latency (the TSD coalescing timer) is constant, so the window
+        must scale with nodes or it becomes the bottleneck.  48 batches
+        per node keeps the pipe full with ~2x headroom while still
+        bounding what can pile onto any RegionServer queue.
+        """
+        if self.proxy_max_in_flight is None:
+            return 40 * self.n_nodes
+        return self.proxy_max_in_flight
+
+
+class TsdbCluster:
+    """A fully wired simulated OpenTSDB/HBase deployment."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        if config.n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.config = config
+        self.sim = Simulator()
+        self.metrics = MetricsRegistry()
+        self.network = Network(self.sim, LatencyModel())
+        self.zk = ZooKeeper()
+        self.master = HMaster(self.zk)
+        self.uids = UniqueIdRegistry()
+        self.codec = RowKeyCodec(config.resolved_salt_buckets())
+        # Logical write clock shared by every writer (TSDs, bulk loads,
+        # the compactor) so newest-write-wins is globally consistent.
+        self._write_clock = itertools.count(1)
+        self.next_write_ts = lambda: float(next(self._write_clock))
+
+        service_model = config.service_model
+        if config.compaction_enabled:
+            # OpenTSDB compaction re-reads and rewrites finished rows,
+            # adding RPC traffic to the RegionServers.  Modelled as a
+            # 50% surcharge on the per-cell write cost — the reason the
+            # paper disabled compaction during ingestion runs.
+            service_model = ServiceModel(
+                rpc_overhead=service_model.rpc_overhead,
+                per_cell_write=service_model.per_cell_write * 1.5,
+                per_cell_read=service_model.per_cell_read,
+            )
+
+        self.nodes: List[Node] = []
+        self.servers: List[RegionServer] = []
+        self.tsds: List[TSDaemon] = []
+        for i in range(config.n_nodes):
+            node = Node(self.sim, f"node{i:02d}")
+            self.nodes.append(node)
+            rs = RegionServer(
+                self.sim,
+                self.network,
+                node,
+                f"rs{i:02d}",
+                queue_capacity=config.rs_queue_capacity,
+                service_model=service_model,
+                metrics=self.metrics,
+                crash_policy_factory=(
+                    (lambda srv: OverflowCrashPolicy(
+                        self.sim,
+                        on_crash=srv.crash,
+                        on_restart=srv.restart,
+                        reject_budget=config.crash_reject_budget,
+                        window=config.crash_window,
+                        restart_delay=config.crash_restart_delay,
+                    ))
+                    if config.crash_on_overflow
+                    else None
+                ),
+            )
+            self.master.register_server(rs)
+            self.servers.append(rs)
+        # Regions pre-split on salt boundaries ("manually split to ensure
+        # each region handled an equal proportion of the writes").
+        self.master.create_table(
+            DATA_TABLE, self.codec.split_keys(), retain_data=config.retain_data
+        )
+        for i, node in enumerate(self.nodes):
+            tsd = TSDaemon(
+                self.sim,
+                self.network,
+                node,
+                f"tsd{i:02d}",
+                self.master,
+                self.uids,
+                self.codec,
+                rpc_batch_size=config.rpc_batch_size,
+                queue_capacity=config.tsd_queue_capacity,
+                service_model=config.tsd_service_model,
+                metrics=self.metrics,
+                write_ts=self.next_write_ts,
+            )
+            self.tsds.append(tsd)
+
+        if config.use_proxy:
+            self.ingress: ReverseProxy | DirectSubmitter = ReverseProxy(
+                self.sim,
+                self.network,
+                self.tsds,
+                max_in_flight=config.resolved_proxy_window(),
+                metrics=self.metrics,
+            )
+        else:
+            self.ingress = DirectSubmitter(
+                self.sim, self.network, self.tsds, spray=config.direct_spray
+            )
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    def submit(self, points: List[DataPoint], on_ack: Optional[Callable[[PutAck], None]] = None) -> None:
+        self.ingress.submit(points, on_ack)
+
+    def query_engine(self) -> QueryEngine:
+        return QueryEngine(self.master, self.uids, self.codec)
+
+    def compactor(self) -> "RowCompactor":
+        """A row compactor wired to this deployment's write clock."""
+        from .compaction import RowCompactor
+
+        return RowCompactor(self.master, DATA_TABLE, write_ts=self.next_write_ts)
+
+    def async_query_executor(self, host: str = "query-client"):
+        """A timing-aware query executor over the simulated RPC path."""
+        from ..hbase.client import HTableClient
+        from .readpath import AsyncQueryExecutor
+
+        client = HTableClient(self.sim, self.network, self.master, host)
+        return AsyncQueryExecutor(self.sim, client, self.uids, self.codec)
+
+    def direct_put(self, points) -> int:
+        """Bulk-load points straight into the regions (no simulated RPC).
+
+        The offline path: analysis results written back to the TSDB
+        ("results from online evaluation are reported back to OpenTSDB")
+        and example/bench data loading, where ingestion *timing* is not
+        under study.  Returns the number of cells written.
+        """
+        tsd = self.tsds[0]
+        written = 0
+        for point in points:
+            cell = tsd.encode_point(point)
+            _, server_name = self.master.locate(DATA_TABLE, cell.row)
+            if server_name is None:
+                raise RuntimeError("region unassigned; cannot bulk-load")
+            server = self.master.server(server_name)
+            for region in server.hosted_regions():
+                if region.info.contains(cell.row):
+                    region.put(cell)
+                    written += 1
+                    break
+        return written
+
+    def per_server_writes(self) -> Dict[str, int]:
+        return {rs.name: rs.cells_written for rs in self.servers}
+
+    def total_crashes(self) -> int:
+        return int(self.metrics.counter("regionserver.crashes").get())
+
+    def write_skew(self) -> float:
+        return skew_ratio(self.per_server_writes().values())
+
+
+@dataclass
+class IngestionReport:
+    """Outcome of one ingestion run (all rates in simulated seconds)."""
+
+    n_nodes: int
+    duration: float
+    offered_samples: int
+    committed_samples: int
+    failed_samples: int
+    throughput: float  # committed samples per simulated second
+    per_server_writes: Dict[str, int]
+    write_skew: float
+    crashes: int
+    proxy_buffer_high_water: int
+    client_retries: int
+    timeline: TimeSeriesRecorder
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.n_nodes:3d} nodes  {self.throughput / 1000.0:7.1f}k samples/s  "
+            f"skew={self.write_skew:5.2f}  crashes={self.crashes}"
+        )
+
+
+class IngestionDriver:
+    """Open-loop load generator over a simulated cluster.
+
+    Emits batches of ``batch_size`` points from ``workload`` every
+    ``batch_size / offered_rate`` simulated seconds and counts durable
+    acknowledgements.  Offered load above cluster capacity is the
+    interesting regime: throughput then measures capacity, as in
+    Figure 2.
+    """
+
+    def __init__(
+        self,
+        cluster: TsdbCluster,
+        workload: Iterator[List[DataPoint]],
+        offered_rate: float,
+        batch_size: int = 50,
+        record_interval: float = 0.25,
+    ) -> None:
+        if offered_rate <= 0:
+            raise ValueError("offered_rate must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.cluster = cluster
+        self.workload = workload
+        self.offered_rate = offered_rate
+        self.batch_size = batch_size
+        self.record_interval = record_interval
+        self.offered = 0
+        self.committed = 0
+        self.failed = 0
+        self.committed_at_stop = 0
+        self.committed_at_warm = 0
+        self.timeline = TimeSeriesRecorder("samples_committed")
+        self._stop_at = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float, drain: float = 1.0, warmup: float = 0.0) -> IngestionReport:
+        """Offer load for ``warmup + duration`` sim-seconds, then report.
+
+        Throughput is the committed-sample delta over the measurement
+        window ``[warmup, warmup + duration]`` — the warm-up excludes
+        pipeline fill, the drain window merely lets in-flight batches
+        resolve so total accounting is exact.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        sim = self.cluster.sim
+        self._stop_at = sim.now + warmup + duration
+        interval = self.batch_size / self.offered_rate
+        sim.schedule(0.0, self._tick, interval)
+        sim.schedule(self.record_interval, self._record)
+        sim.schedule(warmup, self._snapshot_warm)
+        sim.schedule(warmup + duration, self._snapshot_stop)
+        sim.run(until=self._stop_at + drain)
+        self.timeline.record(sim.now, self.committed)
+        return IngestionReport(
+            n_nodes=self.cluster.config.n_nodes,
+            duration=duration,
+            offered_samples=self.offered,
+            committed_samples=self.committed,
+            failed_samples=self.failed,
+            throughput=(self.committed_at_stop - self.committed_at_warm) / duration,
+            per_server_writes=self.cluster.per_server_writes(),
+            write_skew=self.cluster.write_skew(),
+            crashes=self.cluster.total_crashes(),
+            proxy_buffer_high_water=getattr(self.cluster.ingress, "buffer_high_water", 0),
+            client_retries=int(self.cluster.metrics.counter("client.retries").get()),
+            timeline=self.timeline,
+        )
+
+    # ------------------------------------------------------------------
+    def _tick(self, interval: float) -> None:
+        sim = self.cluster.sim
+        if sim.now >= self._stop_at:
+            return
+        batch = next(self.workload, None)
+        if batch:
+            self.offered += len(batch)
+            self.cluster.submit(batch, self._on_ack)
+        if batch is not None:
+            sim.schedule(interval, self._tick, interval)
+
+    def _snapshot_warm(self) -> None:
+        self.committed_at_warm = self.committed
+
+    def _snapshot_stop(self) -> None:
+        # Throughput is measured over the offered-load window only;
+        # commits that land during the drain are excluded.
+        self.committed_at_stop = self.committed
+
+    def _on_ack(self, ack: PutAck) -> None:
+        self.committed += ack.written
+        self.failed += ack.failed
+
+    def _record(self) -> None:
+        sim = self.cluster.sim
+        self.timeline.record(sim.now, self.committed)
+        if sim.now < self._stop_at:
+            sim.schedule(self.record_interval, self._record)
+
+
+def build_cluster(config: Optional[ClusterConfig] = None, **overrides) -> TsdbCluster:
+    """Build a simulated deployment (``ClusterConfig`` fields as kwargs)."""
+    if config is None:
+        config = ClusterConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a config object or keyword overrides, not both")
+    return TsdbCluster(config)

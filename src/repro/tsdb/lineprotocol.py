@@ -1,0 +1,94 @@
+"""OpenTSDB telnet-style line protocol.
+
+Real OpenTSDB ingests via a plain-text protocol::
+
+    put <metric> <timestamp> <value> <tagk=tagv> [<tagk=tagv> ...]
+
+This module parses and formats that wire format, so workloads can be
+replayed from capture files and external producers can be emulated
+byte-for-byte.  Validation follows OpenTSDB's rules: metric/tag names
+are ``[A-Za-z0-9._/-]+``, at least one tag is required, timestamps are
+non-negative integers (seconds) and values are finite floats.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, Iterator, List
+
+from .tsd import DataPoint
+
+__all__ = ["LineProtocolError", "parse_put_line", "format_put_line", "parse_lines"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._/\-]+$")
+
+
+class LineProtocolError(ValueError):
+    """A malformed protocol line (the offending line is in the message)."""
+
+
+def _check_name(name: str, what: str, line: str) -> None:
+    if not _NAME_RE.match(name):
+        raise LineProtocolError(f"invalid {what} {name!r} in line: {line!r}")
+
+
+def parse_put_line(line: str) -> DataPoint:
+    """Parse one ``put`` line into a :class:`DataPoint`."""
+    stripped = line.strip()
+    parts = stripped.split()
+    if len(parts) < 5 or parts[0] != "put":
+        raise LineProtocolError(
+            f"expected 'put <metric> <ts> <value> <tag=value>...': {line!r}"
+        )
+    metric, ts_raw, value_raw = parts[1], parts[2], parts[3]
+    _check_name(metric, "metric", line)
+    try:
+        timestamp = int(ts_raw)
+    except ValueError:
+        raise LineProtocolError(f"invalid timestamp {ts_raw!r} in line: {line!r}") from None
+    if timestamp < 0:
+        raise LineProtocolError(f"negative timestamp in line: {line!r}")
+    try:
+        value = float(value_raw)
+    except ValueError:
+        raise LineProtocolError(f"invalid value {value_raw!r} in line: {line!r}") from None
+    if not math.isfinite(value):
+        raise LineProtocolError(f"non-finite value in line: {line!r}")
+    tags: Dict[str, str] = {}
+    for pair in parts[4:]:
+        key, sep, val = pair.partition("=")
+        if not sep or not key or not val:
+            raise LineProtocolError(f"invalid tag {pair!r} in line: {line!r}")
+        _check_name(key, "tag key", line)
+        _check_name(val, "tag value", line)
+        if key in tags:
+            raise LineProtocolError(f"duplicate tag {key!r} in line: {line!r}")
+        tags[key] = val
+    return DataPoint.make(metric, timestamp, value, tags)
+
+
+def format_put_line(point: DataPoint) -> str:
+    """Format a :class:`DataPoint` as a ``put`` line (inverse of parse)."""
+    tags = " ".join(f"{k}={v}" for k, v in point.tags)
+    value = f"{point.value:g}" if point.value == point.value else "nan"
+    return f"put {point.metric} {point.timestamp} {value} {tags}"
+
+
+def parse_lines(
+    lines: Iterable[str], skip_errors: bool = False
+) -> Iterator[DataPoint]:
+    """Parse a stream of protocol lines, skipping blanks and comments.
+
+    With ``skip_errors`` malformed lines are dropped (the real TSD logs
+    and continues); otherwise :class:`LineProtocolError` propagates.
+    """
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            yield parse_put_line(stripped)
+        except LineProtocolError:
+            if not skip_errors:
+                raise

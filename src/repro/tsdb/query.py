@@ -1,0 +1,210 @@
+"""TSDB query engine: scan, decode, filter, group, aggregate.
+
+Answers OpenTSDB-style queries against the simulated HBase tables:
+
+1. plan row-key scan ranges for the metric and time window (one range
+   per salt bucket — the read-side cost of salting);
+2. scan, decode row keys, and expand compacted columns;
+3. filter by tag predicates, group series by tag keys;
+4. within each group, aggregate / downsample / rate-convert.
+
+Queries read through the master's administrative scan: the
+visualization and analysis paths study *data* semantics, not RPC
+timing (which E1/E2/E6/E7 cover on the write path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hbase.bytescodec import decode_f64
+from ..hbase.master import HMaster
+from ..hbase.region import Cell
+from .aggregation import Series, aggregate, downsample, rate
+from .compaction import decompact_cell, is_compacted
+from .rowkey import RowKeyCodec
+from .tsd import DATA_TABLE
+from .uid import UniqueIdRegistry, UnknownUidError
+
+__all__ = ["TsdbQuery", "QueryEngine", "group_and_aggregate"]
+
+WILDCARD = "*"
+
+
+def group_and_aggregate(query: "TsdbQuery", raw: List[Series]) -> List[Series]:
+    """Apply a query's group-by/aggregate/downsample/rate stages to raw series.
+
+    Shared by the offline engine and the RPC-path executor so the two
+    read paths cannot diverge semantically.
+    """
+    if not raw:
+        return []
+    groups: Dict[Tuple[Tuple[str, str], ...], List[Series]] = {}
+    for series in raw:
+        key = tuple((k, series.tag_dict.get(k, "")) for k in query.group_by)
+        groups.setdefault(key, []).append(series)
+    out: List[Series] = []
+    for key in sorted(groups):
+        combined = aggregate(groups[key], query.aggregator)
+        if query.downsample_window is not None:
+            combined = downsample(
+                combined, query.downsample_window, query.downsample_aggregator
+            )
+        if query.rate:
+            combined = rate(combined)
+        out.append(combined)
+    return out
+
+
+class _ScanState:
+    """Accumulator shared across salt-bucket scans of one query."""
+
+    __slots__ = ("points", "tags", "filtered", "blob_ts")
+
+    def __init__(self) -> None:
+        # series_id -> {timestamp: (value, write_ts)}
+        self.points: Dict[bytes, Dict[int, Tuple[float, float]]] = {}
+        self.tags: Dict[bytes, Dict[str, str]] = {}
+        self.filtered: set = set()
+        # (series_id, base_time) -> newest compacted-blob write-ts
+        self.blob_ts: Dict[Tuple[bytes, int], float] = {}
+
+    def to_series(self) -> List[Series]:
+        """Materialise the accumulated points into sorted Series."""
+        out: List[Series] = []
+        for sid, ts_map in self.points.items():
+            if not ts_map:
+                continue
+            tags = self.tags[sid]
+            times = np.array(sorted(ts_map), dtype=np.int64)
+            values = np.array([ts_map[int(t)][0] for t in times])
+            out.append(Series(tuple(sorted(tags.items())), times, values))
+        out.sort(key=lambda s: s.tags)
+        return out
+
+
+@dataclass
+class TsdbQuery:
+    """A query: metric over ``[start, end)`` with tag predicates.
+
+    ``tag_filters`` maps tag key -> exact value or ``"*"`` (present with
+    any value).  ``group_by`` lists tag keys whose distinct values each
+    produce one output series; series differing only in non-grouped
+    tags are combined with ``aggregator``.
+    """
+
+    metric: str
+    start: int
+    end: int
+    tag_filters: Dict[str, str] = field(default_factory=dict)
+    group_by: Tuple[str, ...] = ()
+    aggregator: str = "avg"
+    downsample_window: Optional[int] = None
+    downsample_aggregator: str = "avg"
+    rate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("query end must be after start")
+
+
+class QueryEngine:
+    """Executes :class:`TsdbQuery` objects against a simulated deployment."""
+
+    def __init__(
+        self,
+        master: HMaster,
+        uids: UniqueIdRegistry,
+        codec: RowKeyCodec,
+        table: str = DATA_TABLE,
+    ) -> None:
+        self.master = master
+        self.uids = uids
+        self.codec = codec
+        self.table = table
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, query: TsdbQuery) -> List[Series]:
+        """Execute a query; returns one Series per group (sorted by tags)."""
+        return group_and_aggregate(query, self._read_series(query))
+
+    def series_for(self, query: TsdbQuery) -> List[Series]:
+        """Raw matching series with no grouping/aggregation (drill-down view)."""
+        return self._read_series(query)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _read_series(self, query: TsdbQuery) -> List[Series]:
+        try:
+            metric_uid = self.uids.get("metric", query.metric)
+        except UnknownUidError:
+            return []
+        state = _ScanState()
+        for lo, hi in self.codec.scan_ranges(metric_uid, query.start, query.end):
+            cells = self.master.direct_scan(self.table, lo, hi)
+            # Blobs first so point-cell shadowing is decided in one pass.
+            for cell in cells:
+                if is_compacted(cell):
+                    self._ingest_cell(cell, query, state, is_blob=True)
+            for cell in cells:
+                if not is_compacted(cell):
+                    self._ingest_cell(cell, query, state, is_blob=False)
+        return state.to_series()
+
+    def _ingest_cell(
+        self,
+        cell: Cell,
+        query: TsdbQuery,
+        state: "_ScanState",
+        is_blob: bool,
+    ) -> None:
+        sid = self.codec.series_id(cell.row)
+        if sid in state.filtered:
+            return
+        if sid not in state.tags:
+            decoded = self.codec.decode(cell.row, b"\x00\x00")
+            tags = self.uids.decode_tags(decoded.tag_pairs)
+            if not self._match_tags(tags, query.tag_filters):
+                state.filtered.add(sid)
+                return
+            state.tags[sid] = tags
+        base = self.codec.decode(cell.row, b"\x00\x00").base_time
+        ts_map = state.points.setdefault(sid, {})
+        if is_blob:
+            key = (sid, base)
+            if cell.ts >= state.blob_ts.get(key, -1.0):
+                state.blob_ts[key] = cell.ts
+            for offset, value in decompact_cell(cell):
+                t = base + offset
+                if query.start <= t < query.end:
+                    prev = ts_map.get(t)
+                    if prev is None or cell.ts >= prev[1]:
+                        ts_map[t] = (value, cell.ts)
+        else:
+            t = base + int.from_bytes(cell.qualifier, "big")
+            if not (query.start <= t < query.end):
+                return
+            # Point cells at or before a compacted blob's write time were
+            # merged into the blob; the blob is authoritative for them.
+            if cell.ts <= state.blob_ts.get((sid, base), -1.0):
+                return
+            prev = ts_map.get(t)
+            if prev is None or cell.ts >= prev[1]:
+                ts_map[t] = (decode_f64(cell.value), cell.ts)
+
+    @staticmethod
+    def _match_tags(tags: Dict[str, str], filters: Dict[str, str]) -> bool:
+        """Exact-or-wildcard predicate evaluation."""
+        for key, expected in filters.items():
+            actual = tags.get(key)
+            if actual is None:
+                return False
+            if expected != WILDCARD and actual != expected:
+                return False
+        return True

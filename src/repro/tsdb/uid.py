@@ -1,0 +1,181 @@
+"""Unique-ID registry for metric and tag names.
+
+OpenTSDB never stores strings in row keys: every metric name, tag key
+and tag value is interned to a fixed-width (3-byte) UID through the
+``tsdb-uid`` table.  This registry reproduces that contract — stable
+bidirectional mapping, width-checked, first-come-first-served
+assignment — in process.
+
+UIDs are assigned densely from 1 (0 is reserved) per *kind*, so a name
+used in two kinds (e.g. a tag value equal to a metric name) gets
+independent IDs, as in OpenTSDB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..hbase.bytescodec import decode_u24, encode_u24
+
+__all__ = ["UniqueIdRegistry", "UIDKind", "UnknownUidError"]
+
+UIDKind = str  # one of "metric", "tagk", "tagv"
+
+_KINDS = ("metric", "tagk", "tagv")
+
+
+class UnknownUidError(KeyError):
+    """Resolution of a UID or name that was never assigned."""
+
+
+class UniqueIdRegistry:
+    """Interning table for metric/tagk/tagv names.
+
+    Parameters
+    ----------
+    width:
+        UID width in bytes (OpenTSDB default: 3, ~16.7M names per kind).
+    """
+
+    def __init__(self, width: int = 3) -> None:
+        if width != 3:
+            # encode_u24 is specialised for the OpenTSDB default; other
+            # widths are not needed by this reproduction.
+            raise ValueError("only the OpenTSDB default width of 3 bytes is supported")
+        self.width = width
+        self._forward: Dict[UIDKind, Dict[str, int]] = {k: {} for k in _KINDS}
+        self._reverse: Dict[UIDKind, Dict[int, str]] = {k: {} for k in _KINDS}
+        self._next: Dict[UIDKind, int] = {k: 1 for k in _KINDS}
+
+    def _check_kind(self, kind: UIDKind) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown UID kind {kind!r}; expected one of {_KINDS}")
+
+    def get_or_create(self, kind: UIDKind, name: str) -> bytes:
+        """Return the UID for ``name``, assigning a fresh one if needed."""
+        self._check_kind(kind)
+        if not name:
+            raise ValueError("names must be non-empty")
+        table = self._forward[kind]
+        uid = table.get(name)
+        if uid is None:
+            uid = self._next[kind]
+            if uid >= (1 << (8 * self.width)):
+                raise OverflowError(f"UID space exhausted for kind {kind!r}")
+            self._next[kind] = uid + 1
+            table[name] = uid
+            self._reverse[kind][uid] = name
+        return encode_u24(uid)
+
+    def get(self, kind: UIDKind, name: str) -> bytes:
+        """Return the UID for an existing name; raise if unassigned."""
+        self._check_kind(kind)
+        uid = self._forward[kind].get(name)
+        if uid is None:
+            raise UnknownUidError(f"{kind}:{name}")
+        return encode_u24(uid)
+
+    def resolve(self, kind: UIDKind, uid: bytes) -> str:
+        """Inverse mapping: UID bytes back to the original name."""
+        self._check_kind(kind)
+        if len(uid) != self.width:
+            raise ValueError(f"UID must be {self.width} bytes, got {len(uid)}")
+        name = self._reverse[kind].get(decode_u24(uid))
+        if name is None:
+            raise UnknownUidError(f"{kind}:{uid.hex()}")
+        return name
+
+    def known(self, kind: UIDKind, name: str) -> bool:
+        self._check_kind(kind)
+        return name in self._forward[kind]
+
+    def names(self, kind: UIDKind) -> Iterator[str]:
+        self._check_kind(kind)
+        return iter(self._forward[kind])
+
+    def count(self, kind: UIDKind) -> int:
+        self._check_kind(kind)
+        return len(self._forward[kind])
+
+    # ------------------------------------------------------------------
+    # persistence (the tsdb-uid table)
+    # ------------------------------------------------------------------
+    def persist_to(self, master, table: str = "tsdb-uid") -> int:
+        """Write the registry into an HBase table, as OpenTSDB does.
+
+        Layout mirrors the real ``tsdb-uid`` table's two column
+        families: forward rows ``f:<kind>:<name> -> uid`` and reverse
+        rows ``r:<kind>:<uid> -> name``.  The table is created on first
+        use.  Returns the number of cells written.
+        """
+        from ..hbase.region import Cell
+
+        try:
+            master.create_table(table)
+        except ValueError:
+            pass  # already exists
+        written = 0
+        for kind in _KINDS:
+            for name, uid in self._forward[kind].items():
+                uid_bytes = encode_u24(uid)
+                fwd = Cell(
+                    f"f:{kind}:{name}".encode("utf-8"), b"id", uid_bytes, float(uid)
+                )
+                rev = Cell(
+                    b"r:" + kind.encode() + b":" + uid_bytes, b"name",
+                    name.encode("utf-8"), float(uid),
+                )
+                for cell in (fwd, rev):
+                    self._direct_write(master, table, cell)
+                    written += 1
+        return written
+
+    @staticmethod
+    def _direct_write(master, table: str, cell) -> None:
+        _, server_name = master.locate(table, cell.row)
+        if server_name is None:
+            raise RuntimeError("uid table region unassigned")
+        for region in master.server(server_name).hosted_regions():
+            if region.info.table == table and region.info.contains(cell.row):
+                region.put(cell)
+                return
+        raise RuntimeError("uid region not hosted where expected")  # pragma: no cover
+
+    @classmethod
+    def load_from(cls, master, table: str = "tsdb-uid") -> "UniqueIdRegistry":
+        """Rebuild a registry from a persisted ``tsdb-uid`` table.
+
+        UID assignments (including the next-id watermarks) round-trip
+        exactly, so a reloaded registry keeps producing keys compatible
+        with data already stored.
+        """
+        registry = cls()
+        for cell in master.direct_scan(table):
+            if not cell.row.startswith(b"f:"):
+                continue
+            kind, _, name = cell.row[2:].decode("utf-8").partition(":")
+            registry._check_kind(kind)
+            uid = decode_u24(cell.value)
+            registry._forward[kind][name] = uid
+            registry._reverse[kind][uid] = name
+            registry._next[kind] = max(registry._next[kind], uid + 1)
+        return registry
+
+    def encode_tags(self, tags: Dict[str, str]) -> Tuple[Tuple[bytes, bytes], ...]:
+        """Intern a tag map into UID pairs, sorted by tag-key UID.
+
+        OpenTSDB sorts tag pairs in the row key by tag-key UID so that a
+        given series always produces the same key.
+        """
+        pairs = [
+            (self.get_or_create("tagk", k), self.get_or_create("tagv", v))
+            for k, v in tags.items()
+        ]
+        pairs.sort(key=lambda p: p[0])
+        return tuple(pairs)
+
+    def decode_tags(self, pairs: Tuple[Tuple[bytes, bytes], ...]) -> Dict[str, str]:
+        """Inverse of :meth:`encode_tags`."""
+        return {
+            self.resolve("tagk", k): self.resolve("tagv", v) for k, v in pairs
+        }

@@ -1,0 +1,264 @@
+"""Dashboard generation: the Figure 3 web application, statically.
+
+Produces a self-contained HTML control centre:
+
+* **fleet overview** (``index.html``) — global analytics header, the
+  fleet status bar, and a per-unit table linking to machine pages;
+* **machine pages** (``machine-XXX.html``) — Figure 3's layout: the
+  unit status strip on top, a grid of per-sensor sparklines with
+  anomalies flagged in red in the centre, and drill-down detail charts
+  (control band, axes, severity) for the most anomalous sensors at the
+  bottom.
+
+Everything is read back from the TSDB through
+:class:`~repro.viz.analytics.FleetAnalytics`; the builder never touches
+the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..tsdb.query import QueryEngine
+from .analytics import FleetAnalytics, SensorActivity
+from .sparkline import SparklineStyle, render_detail_chart, render_sparkline
+from .statusbar import HealthGrade, UnitStatus, grade_counts, render_status_bar
+
+__all__ = ["DashboardConfig", "Dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 0; background: #f6f8fa; color: #1f2328; }
+header { background: #24292f; color: #fff; padding: 14px 24px; }
+header h1 { margin: 0; font-size: 18px; font-weight: 600; }
+header .sub { color: #8b949e; font-size: 12px; margin-top: 2px; }
+main { max-width: 1040px; margin: 0 auto; padding: 18px 24px 48px; }
+.panel { background: #fff; border: 1px solid #d0d7de; border-radius: 6px;
+         padding: 16px; margin-bottom: 18px; }
+.panel h2 { margin: 0 0 10px; font-size: 14px; font-weight: 600; color: #57606a;
+            text-transform: uppercase; letter-spacing: .04em; }
+.kpis { display: flex; gap: 28px; flex-wrap: wrap; }
+.kpi .num { font-size: 26px; font-weight: 700; }
+.kpi .lbl { font-size: 11px; color: #57606a; text-transform: uppercase; }
+.kpi.crit .num { color: #cf222e; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: left; padding: 6px 10px; border-bottom: 1px solid #e6e9ec; }
+th { color: #57606a; font-weight: 600; }
+tr:hover { background: #f0f4f8; }
+.grade { display: inline-block; padding: 1px 8px; border-radius: 10px;
+         font-size: 11px; color: #fff; }
+.grid { display: flex; flex-wrap: wrap; gap: 10px; }
+.cell { border: 1px solid #e6e9ec; border-radius: 4px; padding: 6px 8px;
+        background: #fff; }
+.cell .name { font-size: 11px; color: #57606a; margin-bottom: 2px; }
+.cell.flagged { border-color: #d62728; }
+.cell.flagged .name { color: #d62728; font-weight: 600; }
+a { color: #0969da; text-decoration: none; }
+a:hover { text-decoration: underline; }
+.detail { margin-bottom: 14px; }
+.meta { font-size: 12px; color: #57606a; margin: 4px 0 10px; }
+"""
+
+
+@dataclass
+class DashboardConfig:
+    """Rendering knobs."""
+
+    title: str = "Power Asset Monitor"
+    max_sparklines: int = 60  # sensors shown in the machine-page grid
+    max_details: int = 4  # drill-down charts per machine page
+    sparkline_style: SparklineStyle = SparklineStyle()
+
+
+class Dashboard:
+    """Builds the static dashboard from a TSDB query engine."""
+
+    def __init__(self, engine: QueryEngine, config: Optional[DashboardConfig] = None) -> None:
+        self.engine = engine
+        self.analytics = FleetAnalytics(engine)
+        self.config = config if config is not None else DashboardConfig()
+
+    # ------------------------------------------------------------------
+    # page assembly
+    # ------------------------------------------------------------------
+    def _page(self, title: str, subtitle: str, body: str) -> str:
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<meta name='viewport' content='width=device-width, initial-scale=1'>"
+            f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>"
+            f"<body><header><h1>{html.escape(title)}</h1>"
+            f"<div class='sub'>{html.escape(subtitle)}</div></header>"
+            f"<main>{body}</main></body></html>"
+        )
+
+    def fleet_overview_html(
+        self, unit_ids: Sequence[int], start: int, end: int
+    ) -> str:
+        """The index page: KPIs, status bar, unit table."""
+        statuses = self.analytics.fleet_statuses(unit_ids, start, end)
+        summary = self.analytics.summary(statuses)
+        counts = grade_counts(statuses)
+        kpis = (
+            "<div class='kpis'>"
+            f"<div class='kpi'><div class='num'>{summary.n_units}</div>"
+            "<div class='lbl'>units</div></div>"
+            f"<div class='kpi'><div class='num'>{summary.total_anomalies}</div>"
+            "<div class='lbl'>anomalies</div></div>"
+            f"<div class='kpi'><div class='num'>{summary.units_with_anomalies}</div>"
+            "<div class='lbl'>units flagged</div></div>"
+            f"<div class='kpi crit'><div class='num'>{summary.units_critical}</div>"
+            "<div class='lbl'>critical</div></div>"
+            "</div>"
+        )
+        rows = []
+        for status in statuses:
+            grade = status.grade
+            rows.append(
+                "<tr>"
+                f"<td><a href='machine-{status.unit_id:03d}.html'>{status.label}</a></td>"
+                f"<td><span class='grade' style='background:{grade.color}'>"
+                f"{grade.value}</span></td>"
+                f"<td>{status.anomaly_count}</td>"
+                f"<td>{status.sensors_affected}</td>"
+                f"<td>{status.unit_alarms}</td>"
+                "</tr>"
+            )
+        body = (
+            f"<div class='panel'><h2>Global analytics</h2>{kpis}</div>"
+            "<div class='panel'><h2>Fleet status</h2>"
+            f"{render_status_bar(statuses)}"
+            f"<div class='meta'>ok: {counts[HealthGrade.OK]} &middot; "
+            f"warning: {counts[HealthGrade.WARNING]} &middot; "
+            f"critical: {counts[HealthGrade.CRITICAL]}</div></div>"
+            "<div class='panel'><h2>Units</h2><table>"
+            "<tr><th>unit</th><th>status</th><th>anomalies</th>"
+            "<th>sensors affected</th><th>unit alarms</th></tr>"
+            f"{''.join(rows)}</table></div>"
+        )
+        return self._page(
+            self.config.title, f"fleet overview · t ∈ [{start}, {end})", body
+        )
+
+    def machine_page_html(self, unit_id: int, start: int, end: int) -> str:
+        """Figure 3: status strip, sparkline grid, drill-down details."""
+        cfg = self.config
+        status = self.analytics.unit_status(unit_id, start, end)
+        data = self.analytics.sensor_series(unit_id, start, end)
+        anomalies = self.analytics.anomaly_series(unit_id, start, end)
+        anomaly_times: Dict[str, np.ndarray] = {
+            s.tag_dict.get("sensor", "?"): s.timestamps for s in anomalies
+        }
+        # Flagged sensors first, then the rest, capped.
+        def sort_key(series) -> tuple:
+            sensor = series.tag_dict.get("sensor", "?")
+            n = len(anomaly_times.get(sensor, ()))
+            return (-n, sensor)
+
+        data_sorted = sorted(data, key=sort_key)[: cfg.max_sparklines]
+        cells = []
+        for series in data_sorted:
+            sensor = series.tag_dict.get("sensor", "?")
+            a_times = anomaly_times.get(sensor, np.empty(0, dtype=np.int64))
+            flagged = "cell flagged" if len(a_times) else "cell"
+            spark = render_sparkline(
+                series.timestamps,
+                series.values,
+                a_times,
+                cfg.sparkline_style,
+                tooltip=f"{sensor}: {len(a_times)} anomalies",
+            )
+            cells.append(
+                f"<div class='{flagged}'><div class='name'>{html.escape(sensor)}"
+                f"{' · ' + str(len(a_times)) + ' ⚑' if len(a_times) else ''}</div>"
+                f"{spark}</div>"
+            )
+        top = self.analytics.top_sensors(unit_id, start, end, cfg.max_details)
+        details = [self._detail_block(unit_id, activity, start, end, data) for activity in top]
+        grade = status.grade
+        body = (
+            "<div class='panel'><h2>Unit status</h2>"
+            f"<div class='meta'><span class='grade' style='background:{grade.color}'>"
+            f"{grade.value}</span> &nbsp; {status.anomaly_count} anomalies on "
+            f"{status.sensors_affected} sensors &middot; {status.unit_alarms} unit alarms"
+            f"</div>{render_status_bar([status], width=960, height=14)}</div>"
+            f"<div class='panel'><h2>Sensors ({len(data_sorted)} of {len(data)})</h2>"
+            f"<div class='grid'>{''.join(cells)}</div></div>"
+            + (
+                f"<div class='panel'><h2>Drill-down</h2>{''.join(details)}</div>"
+                if details
+                else ""
+            )
+            + "<div class='meta'><a href='index.html'>← fleet overview</a></div>"
+        )
+        return self._page(
+            f"{self.config.title} — machine {unit_id}",
+            f"machine page · t ∈ [{start}, {end})",
+            body,
+        )
+
+    def _detail_block(
+        self,
+        unit_id: int,
+        activity: SensorActivity,
+        start: int,
+        end: int,
+        data_series,
+    ) -> str:
+        series = next(
+            (s for s in data_series if s.tag_dict.get("sensor") == activity.sensor), None
+        )
+        if series is None or not len(series):
+            return ""
+        anoms = self.analytics.anomaly_series(unit_id, start, end)
+        a_times = next(
+            (s.timestamps for s in anoms if s.tag_dict.get("sensor") == activity.sensor),
+            np.empty(0, dtype=np.int64),
+        )
+        # Control band from the displayed window's own robust statistics
+        # (the dashboard has no access to the training data).
+        values = series.values
+        med = float(np.median(values))
+        mad = float(np.median(np.abs(values - med))) * 1.4826
+        chart = render_detail_chart(
+            series.timestamps,
+            values,
+            a_times,
+            mean=med,
+            std=mad if mad > 0 else None,
+            title=(
+                f"{activity.sensor} — {activity.anomaly_count} anomalies, "
+                f"peak |z| = {activity.peak_score:.1f}, "
+                f"last at t={activity.last_anomaly_time}s"
+            ),
+        )
+        return f"<div class='detail'>{chart}</div>"
+
+    # ------------------------------------------------------------------
+    # file output
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        out_dir: str | Path,
+        unit_ids: Sequence[int],
+        start: int,
+        end: int,
+        machine_pages: Optional[Sequence[int]] = None,
+    ) -> List[Path]:
+        """Write index + machine pages; returns the created paths."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written = []
+        index = out / "index.html"
+        index.write_text(self.fleet_overview_html(unit_ids, start, end))
+        written.append(index)
+        pages = machine_pages if machine_pages is not None else unit_ids
+        for unit_id in pages:
+            page = out / f"machine-{unit_id:03d}.html"
+            page.write_text(self.machine_page_html(unit_id, start, end))
+            written.append(page)
+        return written

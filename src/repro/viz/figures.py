@@ -1,0 +1,176 @@
+"""Paper-figure rendering: regenerate Figure 2 as SVG charts.
+
+The evaluation harness produces :class:`~repro.tsdb.ingest.IngestionReport`
+objects; this module turns them into the two panels of the paper's
+Figure 2 — (left) throughput vs node count with per-point labels,
+(right) cumulative samples-ingested vs time, one line per cluster
+configuration — as self-contained SVG files that drop into the
+dashboard or any browser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tsdb.ingest import IngestionReport
+from .sparkline import GRID_COLOR, LINE_COLOR, TEXT_COLOR
+from .svg import Svg, path_from_points
+
+__all__ = ["render_throughput_figure", "render_stability_figure"]
+
+SERIES_COLORS = ["#4878a8", "#e1812c", "#3a923a", "#c03d3e", "#9372b2", "#7f7f7f"]
+
+
+class _Axes:
+    """Shared scaffolding: padded plot area, linear scales, ticks."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+        pad_left: int = 64,
+        pad_right: int = 16,
+        pad_top: int = 28,
+        pad_bottom: int = 40,
+    ) -> None:
+        self.svg = Svg(width, height)
+        self.width, self.height = width, height
+        self.pad_left, self.pad_right = pad_left, pad_right
+        self.pad_top, self.pad_bottom = pad_top, pad_bottom
+        self.plot_w = width - pad_left - pad_right
+        self.plot_h = height - pad_top - pad_bottom
+        x_lo, x_hi = x_range
+        y_lo, y_hi = y_range
+        if x_hi <= x_lo or y_hi <= y_lo:
+            raise ValueError("axis ranges must be non-degenerate")
+        self.x_lo, self.x_hi = x_lo, x_hi
+        self.y_lo, self.y_hi = y_lo, y_hi
+
+    def sx(self, x: float) -> float:
+        return self.pad_left + (x - self.x_lo) / (self.x_hi - self.x_lo) * self.plot_w
+
+    def sy(self, y: float) -> float:
+        return self.pad_top + (self.y_hi - y) / (self.y_hi - self.y_lo) * self.plot_h
+
+    def title(self, text: str) -> None:
+        self.svg.text(self.pad_left, 16, text, fill=TEXT_COLOR,
+                      font_size=13, font_weight="bold")
+
+    def x_label(self, text: str) -> None:
+        self.svg.text(self.pad_left + self.plot_w / 2, self.height - 8, text,
+                      fill=TEXT_COLOR, font_size=11, text_anchor="middle")
+
+    def y_ticks(self, ticks: Sequence[float], fmt=lambda v: f"{v:g}") -> None:
+        for tick in ticks:
+            y = self.sy(tick)
+            self.svg.line(self.pad_left, y, self.pad_left + self.plot_w, y,
+                          stroke=GRID_COLOR, stroke_width=0.6)
+            self.svg.text(self.pad_left - 6, y + 3.5, fmt(tick), fill=TEXT_COLOR,
+                          font_size=10, text_anchor="end")
+
+    def x_ticks(self, ticks: Sequence[float], fmt=lambda v: f"{v:g}") -> None:
+        for tick in ticks:
+            x = self.sx(tick)
+            self.svg.line(x, self.pad_top + self.plot_h, x,
+                          self.pad_top + self.plot_h + 4, stroke=TEXT_COLOR,
+                          stroke_width=0.8)
+            self.svg.text(x, self.pad_top + self.plot_h + 16, fmt(tick),
+                          fill=TEXT_COLOR, font_size=10, text_anchor="middle")
+
+    def frame(self) -> None:
+        self.svg.rect(self.pad_left, self.pad_top, self.plot_w, self.plot_h,
+                      fill="none", stroke=TEXT_COLOR, stroke_width=0.8)
+
+
+def render_throughput_figure(
+    reports: Sequence[IngestionReport],
+    paper_points: Optional[Dict[int, float]] = None,
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Figure 2 (left): throughput vs number of nodes.
+
+    Measured points are drawn as a labelled line; the paper's published
+    points (if given) overlay as hollow markers for direct comparison.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    nodes = [r.n_nodes for r in reports]
+    rates = [r.throughput for r in reports]
+    all_rates = rates + (list(paper_points.values()) if paper_points else [])
+    axes = _Axes(
+        width, height,
+        x_range=(0, max(nodes) * 1.1),
+        y_range=(0, max(all_rates) * 1.15),
+    )
+    axes.title("Ingestion throughput vs cluster size (Figure 2, left)")
+    axes.x_label("# of nodes")
+    max_rate = max(all_rates)
+    step = 50_000 if max_rate > 150_000 else 10_000
+    axes.y_ticks(np.arange(0, max_rate * 1.15, step),
+                 fmt=lambda v: f"{v/1000:.0f}k")
+    axes.x_ticks(sorted(set(nodes)))
+    axes.frame()
+
+    if paper_points:
+        for n, rate in sorted(paper_points.items()):
+            axes.svg.circle(axes.sx(n), axes.sy(rate), 4.5, fill="white",
+                            stroke="#c03d3e", stroke_width=1.5)
+        axes.svg.text(axes.pad_left + 10, axes.pad_top + 14,
+                      "○ paper  ● measured", fill=TEXT_COLOR, font_size=10)
+
+    points = [(axes.sx(n), axes.sy(r)) for n, r in zip(nodes, rates)]
+    axes.svg.path(path_from_points(points), fill="none", stroke=LINE_COLOR,
+                  stroke_width=1.8)
+    for (x, y), rate, n in zip(points, rates, nodes):
+        axes.svg.circle(x, y, 3.5, fill=LINE_COLOR)
+        axes.svg.text(x, y - 9, f"{rate/1000:.0f}k", fill=TEXT_COLOR,
+                      font_size=10, text_anchor="middle")
+    return axes.svg.to_string("figure-throughput")
+
+
+def render_stability_figure(
+    reports: Sequence[IngestionReport],
+    step: float = 0.25,
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Figure 2 (right): cumulative samples ingested vs duration.
+
+    One line per cluster configuration, labelled at the line's end —
+    straight lines of differing slope, as in the paper.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    curves: List[Tuple[int, List[Tuple[float, float]]]] = []
+    max_t = max_v = 0.0
+    for report in reports:
+        resampled = report.timeline.resample(step)
+        if not resampled:
+            continue
+        curves.append((report.n_nodes, resampled))
+        max_t = max(max_t, resampled[-1][0])
+        max_v = max(max_v, resampled[-1][1])
+    if not curves or max_v <= 0:
+        raise ValueError("reports carry no timeline data")
+    axes = _Axes(width, height, x_range=(0, max_t * 1.12), y_range=(0, max_v * 1.1))
+    axes.title("Samples ingested vs ingestion duration (Figure 2, right)")
+    axes.x_label("ingestion duration (sim s)")
+    axes.y_ticks(np.linspace(0, max_v, 5), fmt=lambda v: f"{v/1e6:.2f}M")
+    axes.x_ticks(np.arange(0, max_t + step, max(step * 2, max_t / 6)),
+                 fmt=lambda v: f"{v:.1f}")
+    axes.frame()
+
+    for i, (n_nodes, samples) in enumerate(sorted(curves, key=lambda c: c[0])):
+        color = SERIES_COLORS[i % len(SERIES_COLORS)]
+        pts = [(axes.sx(t), axes.sy(v)) for t, v in samples]
+        axes.svg.path(path_from_points(pts), fill="none", stroke=color,
+                      stroke_width=1.8)
+        end_x, end_y = pts[-1]
+        axes.svg.text(min(end_x + 4, width - 4), end_y + 3, f"{n_nodes} nodes",
+                      fill=color, font_size=10)
+    return axes.svg.to_string("figure-stability")

@@ -1,0 +1,163 @@
+"""Sparkline charts with anomaly annotations.
+
+Figure 3's centre panel: "our tool displays all sensor readings with
+relevant anomalies annotated directly on a compact sparkline chart".
+A sparkline is a compact, axis-less line with flagged instants drawn as
+red markers; the drill-down variant adds axes, control-limit bands and
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .svg import Svg, path_from_points
+
+__all__ = ["SparklineStyle", "render_sparkline", "render_detail_chart"]
+
+ANOMALY_COLOR = "#d62728"
+LINE_COLOR = "#4878a8"
+BAND_COLOR = "#e8eef4"
+GRID_COLOR = "#d0d7de"
+TEXT_COLOR = "#57606a"
+
+
+@dataclass(frozen=True)
+class SparklineStyle:
+    width: int = 220
+    height: int = 36
+    padding: int = 2
+    stroke_width: float = 1.0
+    marker_radius: float = 2.0
+
+
+def _scale(
+    times: np.ndarray,
+    values: np.ndarray,
+    width: float,
+    height: float,
+    padding: float,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(times, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    t_lo, t_hi = (t.min(), t.max()) if t.size else (0.0, 1.0)
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    if y_range is not None:
+        v_lo, v_hi = y_range
+    else:
+        v_lo, v_hi = (v.min(), v.max()) if v.size else (0.0, 1.0)
+    if v_hi <= v_lo:
+        v_hi = v_lo + 1.0
+    xs = padding + (t - t_lo) / (t_hi - t_lo) * (width - 2 * padding)
+    ys = height - padding - (v - v_lo) / (v_hi - v_lo) * (height - 2 * padding)
+    return xs, ys
+
+
+def render_sparkline(
+    times: Sequence[int],
+    values: Sequence[float],
+    anomaly_times: Sequence[int] = (),
+    style: Optional[SparklineStyle] = None,
+    tooltip: str = "",
+) -> str:
+    """Render one compact sparkline; anomalous instants become red dots."""
+    st = style if style is not None else SparklineStyle()
+    svg = Svg(st.width, st.height)
+    if tooltip:
+        svg.title(tooltip)
+    t = np.asarray(times, dtype=np.int64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.size == 0:
+        svg.text(st.width / 2, st.height / 2 + 4, "no data",
+                 fill=TEXT_COLOR, font_size=10, text_anchor="middle")
+        return svg.to_string("sparkline")
+    xs, ys = _scale(t, v, st.width, st.height, st.padding)
+    svg.path(
+        path_from_points(list(zip(xs, ys))),
+        fill="none",
+        stroke=LINE_COLOR,
+        stroke_width=st.stroke_width,
+    )
+    if len(anomaly_times):
+        anomaly_set = np.isin(t, np.asarray(list(anomaly_times), dtype=np.int64))
+        for x, y in zip(xs[anomaly_set], ys[anomaly_set]):
+            svg.circle(x, y, st.marker_radius, fill=ANOMALY_COLOR)
+    return svg.to_string("sparkline")
+
+
+def render_detail_chart(
+    times: Sequence[int],
+    values: Sequence[float],
+    anomaly_times: Sequence[int] = (),
+    mean: Optional[float] = None,
+    std: Optional[float] = None,
+    width: int = 760,
+    height: int = 220,
+    title: str = "",
+) -> str:
+    """Drill-down chart: axes, ±3σ control band, anomalies highlighted.
+
+    Figure 3's bottom panel — "operators can click on anomalies which
+    surfaces a detailed view of the sensor data".
+    """
+    pad_left, pad_right, pad_top, pad_bottom = 52, 12, 22, 26
+    plot_w = width - pad_left - pad_right
+    plot_h = height - pad_top - pad_bottom
+    svg = Svg(width, height)
+    t = np.asarray(times, dtype=np.int64)
+    v = np.asarray(values, dtype=np.float64)
+    if title:
+        svg.text(pad_left, 14, title, fill=TEXT_COLOR, font_size=12, font_weight="bold")
+    if t.size == 0:
+        svg.text(width / 2, height / 2, "no data", fill=TEXT_COLOR,
+                 font_size=12, text_anchor="middle")
+        return svg.to_string("detail-chart")
+
+    v_lo, v_hi = float(v.min()), float(v.max())
+    if mean is not None and std is not None:
+        v_lo = min(v_lo, mean - 3.5 * std)
+        v_hi = max(v_hi, mean + 3.5 * std)
+    if v_hi <= v_lo:
+        v_hi = v_lo + 1.0
+
+    def sx(tt: np.ndarray) -> np.ndarray:
+        t_lo, t_hi = t.min(), t.max()
+        span = max(1, t_hi - t_lo)
+        return pad_left + (tt - t_lo) / span * plot_w
+
+    def sy(vv: np.ndarray) -> np.ndarray:
+        return pad_top + (v_hi - vv) / (v_hi - v_lo) * plot_h
+
+    # control band mean ± 3σ
+    if mean is not None and std is not None:
+        top = float(sy(np.array(mean + 3 * std)))
+        bot = float(sy(np.array(mean - 3 * std)))
+        svg.rect(pad_left, top, plot_w, max(1.0, bot - top), fill=BAND_COLOR)
+        svg.line(pad_left, float(sy(np.array(mean))), pad_left + plot_w,
+                 float(sy(np.array(mean))), stroke=GRID_COLOR, stroke_dasharray="4 3")
+
+    # y grid + labels
+    for frac in (0.0, 0.5, 1.0):
+        yy = pad_top + plot_h * frac
+        svg.line(pad_left, yy, pad_left + plot_w, yy, stroke=GRID_COLOR, stroke_width=0.5)
+        label = v_hi - (v_hi - v_lo) * frac
+        svg.text(pad_left - 6, yy + 4, f"{label:.1f}", fill=TEXT_COLOR,
+                 font_size=10, text_anchor="end")
+    # x labels (start/end time)
+    svg.text(pad_left, height - 8, f"t={int(t.min())}s", fill=TEXT_COLOR, font_size=10)
+    svg.text(pad_left + plot_w, height - 8, f"t={int(t.max())}s",
+             fill=TEXT_COLOR, font_size=10, text_anchor="end")
+
+    xs, ys = sx(t.astype(np.float64)), sy(v)
+    svg.path(path_from_points(list(zip(xs, ys))), fill="none",
+             stroke=LINE_COLOR, stroke_width=1.4)
+    if len(anomaly_times):
+        mask = np.isin(t, np.asarray(list(anomaly_times), dtype=np.int64))
+        for x, y in zip(xs[mask], ys[mask]):
+            svg.circle(x, y, 3.0, fill=ANOMALY_COLOR, stroke="white", stroke_width=0.8)
+    return svg.to_string("detail-chart")

@@ -1,0 +1,184 @@
+"""Tests for series aggregation, downsampling and rate conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tsdb.aggregation import (
+    AGGREGATORS,
+    Series,
+    aggregate,
+    align_union,
+    downsample,
+    rate,
+)
+
+
+def series(times, values, tags=()):
+    return Series(tuple(tags), np.array(times), np.array(values, dtype=float))
+
+
+class TestSeries:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            series([1, 2], [1.0])
+
+    def test_strictly_increasing_required(self):
+        with pytest.raises(ValueError):
+            series([2, 1], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            series([1, 1], [0.0, 0.0])
+
+    def test_tag_dict(self):
+        s = series([1], [2.0], tags=(("unit", "u1"),))
+        assert s.tag_dict == {"unit": "u1"}
+
+    def test_len(self):
+        assert len(series([1, 2, 3], [0, 0, 0])) == 3
+
+
+class TestAlignUnion:
+    def test_alignment_with_gaps(self):
+        a = series([0, 1, 3], [1.0, 2.0, 3.0])
+        b = series([1, 2], [10.0, 20.0])
+        times, stack = align_union([a, b])
+        assert list(times) == [0, 1, 2, 3]
+        assert stack[0][0] == 1.0 and np.isnan(stack[1][0])
+        assert stack[0][1] == 2.0 and stack[1][1] == 10.0
+
+    def test_empty(self):
+        times, stack = align_union([])
+        assert times.size == 0
+
+
+class TestAggregate:
+    def test_sum_ignores_missing(self):
+        a = series([0, 1], [1.0, 2.0])
+        b = series([1, 2], [10.0, 20.0])
+        out = aggregate([a, b], "sum")
+        assert list(out.timestamps) == [0, 1, 2]
+        assert list(out.values) == [1.0, 12.0, 20.0]
+
+    def test_avg(self):
+        a = series([0], [1.0])
+        b = series([0], [3.0])
+        assert aggregate([a, b], "avg").values[0] == 2.0
+
+    def test_min_max_count_dev(self):
+        a = series([0], [1.0])
+        b = series([0], [5.0])
+        assert aggregate([a, b], "min").values[0] == 1.0
+        assert aggregate([a, b], "max").values[0] == 5.0
+        assert aggregate([a, b], "count").values[0] == 2.0
+        assert aggregate([a, b], "dev").values[0] == 2.0
+
+    def test_single_series_passthrough(self):
+        a = series([0, 1], [1.0, 2.0])
+        assert aggregate([a], "sum") is a
+
+    def test_common_tags_kept(self):
+        a = series([0], [1.0], tags=(("unit", "u1"), ("sensor", "s1")))
+        b = series([0], [2.0], tags=(("unit", "u1"), ("sensor", "s2")))
+        out = aggregate([a, b], "avg")
+        assert out.tags == (("unit", "u1"),)
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(ValueError):
+            aggregate([series([0], [1.0])], "median")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([], "sum")
+
+
+class TestDownsample:
+    def test_avg_windows(self):
+        s = series([0, 1, 2, 10, 11], [1.0, 2.0, 3.0, 10.0, 20.0])
+        out = downsample(s, 10, "avg")
+        assert list(out.timestamps) == [0, 10]
+        assert list(out.values) == [2.0, 15.0]
+
+    def test_window_start_convention(self):
+        s = series([5, 15, 25], [1.0, 2.0, 3.0])
+        out = downsample(s, 10, "sum")
+        assert list(out.timestamps) == [0, 10, 20]
+
+    def test_empty_windows_skipped(self):
+        s = series([0, 100], [1.0, 2.0])
+        out = downsample(s, 10)
+        assert list(out.timestamps) == [0, 100]
+
+    def test_single_window(self):
+        s = series([0, 1], [2.0, 4.0])
+        out = downsample(s, 100, "max")
+        assert list(out.timestamps) == [0]
+        assert list(out.values) == [4.0]
+
+    def test_empty_series(self):
+        s = series([], [])
+        assert len(downsample(s, 10)) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            downsample(series([0], [1.0]), 0)
+
+    def test_count_aggregator(self):
+        s = series([0, 1, 2], [5.0, 5.0, 5.0])
+        assert downsample(s, 10, "count").values[0] == 3.0
+
+
+class TestRate:
+    def test_first_difference(self):
+        s = series([0, 10, 20], [0.0, 50.0, 150.0])
+        out = rate(s)
+        assert list(out.timestamps) == [10, 20]
+        assert list(out.values) == [5.0, 10.0]
+
+    def test_counter_wrap(self):
+        s = series([0, 1], [10.0, 5.0])
+        plain = rate(s)
+        assert plain.values[0] == -5.0
+        wrapped = rate(s, counter=True, max_value=16.0)
+        assert wrapped.values[0] == 11.0
+
+    def test_too_short(self):
+        assert len(rate(series([0], [1.0]))) == 0
+
+
+class TestAggregationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 50), st.floats(-100, 100)),
+                min_size=1, max_size=20,
+            ),
+            min_size=1, max_size=5,
+        )
+    )
+    def test_sum_equals_pointwise_reference(self, raw):
+        built = []
+        for points in raw:
+            dedup = sorted({t: v for t, v in points}.items())
+            built.append(series([t for t, _ in dedup], [v for _, v in dedup]))
+        out = aggregate(built, "sum") if len(built) > 1 else built[0]
+        # reference: dict accumulation
+        ref = {}
+        for s in built:
+            for t, v in zip(s.timestamps, s.values):
+                ref[int(t)] = ref.get(int(t), 0.0) + v
+        assert list(out.timestamps) == sorted(ref)
+        for t, v in zip(out.timestamps, out.values):
+            assert v == pytest.approx(ref[int(t)])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 200), st.floats(-50, 50)),
+                 min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=60),
+    )
+    def test_downsample_conserves_sum(self, points, window):
+        dedup = sorted({t: v for t, v in points}.items())
+        s = series([t for t, _ in dedup], [v for _, v in dedup])
+        out = downsample(s, window, "sum")
+        assert float(np.sum(out.values)) == pytest.approx(float(np.sum(s.values)))

@@ -1,0 +1,120 @@
+"""Tests for the experiment harness and the fast experiments."""
+
+import pytest
+
+from repro.bench.harness import ExperimentRegistry, ExperimentResult, Table, format_rate
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["col", "value"])
+        table.add_row("a", 1)
+        table.add_row("longer-name", 22)
+        out = table.render()
+        assert "Demo" in out
+        lines = out.splitlines()
+        assert len({len(line) for line in lines[2:]}) <= 2  # header+rows aligned
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_accessor(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == ["2", "4"]
+        with pytest.raises(KeyError):
+            table.column("c")
+
+    def test_markdown(self):
+        table = Table("T", ["a"])
+        table.add_row("x")
+        md = table.to_markdown()
+        assert "| a |" in md and "| x |" in md
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table("T", [])
+
+
+class TestFormatRate:
+    def test_scales(self):
+        assert format_rate(500) == "500/s"
+        assert format_rate(399_000) == "399.0k/s"
+        assert format_rate(1_250_000) == "1.25M/s"
+
+
+class TestRegistry:
+    def test_register_and_run(self):
+        reg = ExperimentRegistry()
+
+        @reg.register("T1", "demo")
+        def t1(**kwargs):
+            return ExperimentResult("T1", "demo", [Table("t", ["x"])])
+
+        result = reg.run("t1")
+        assert result.experiment_id == "T1"
+        assert "T1" in result.render()
+
+    def test_duplicate_rejected(self):
+        reg = ExperimentRegistry()
+        reg.register("a", "x")(lambda **kw: None)
+        with pytest.raises(ValueError):
+            reg.register("A", "y")(lambda **kw: None)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ExperimentRegistry().run("nope")
+
+    def test_available(self):
+        reg = ExperimentRegistry()
+        reg.register("e", "desc")(lambda **kw: None)
+        assert reg.available() == {"e": "desc"}
+
+
+class TestBuiltinRegistry:
+    def test_all_experiments_registered(self):
+        from repro.bench import REGISTRY
+
+        assert set(REGISTRY.available()) == {f"e{i}" for i in range(1, 11)}
+
+
+class TestFastExperiments:
+    """E3 and E5 are sub-second; run them for real."""
+
+    def test_e3_matches_analytic(self):
+        from repro.bench import REGISTRY
+
+        result = REGISTRY.run("e3", quick=True)
+        for m in (1, 10, 100):
+            analytic = result.numbers[f"analytic_{m}"]
+            empirical = result.numbers[f"empirical_{m}"]
+            assert empirical == pytest.approx(analytic, abs=0.05)
+        assert result.numbers["analytic_10"] == pytest.approx(0.4013, abs=1e-3)
+
+    def test_e5_throughput_exceeds_paper(self):
+        from repro.bench import PAPER_ONLINE_THROUGHPUT, REGISTRY
+
+        result = REGISTRY.run("e5", quick=True)
+        assert result.numbers["throughput"] > PAPER_ONLINE_THROUGHPUT / 3
+
+    def test_cli_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E9" in out
+
+    def test_cli_unknown_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["e99"]) == 2
+
+    def test_cli_runs_quick_e3(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["e3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "false alarm" in out.lower()

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+the slowest two (full ingestion sweep, fleet dashboard) are exercised
+in their fast/small configurations.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "power:" in out
+        assert "false-discovery proportion" in out
+
+    def test_procedure_comparison_fast(self, capsys):
+        run_example("procedure_comparison.py", ["--fast"])
+        out = capsys.readouterr().out
+        assert "bh" in out and "bonferroni" in out
+        assert "0.4013" in out or "0.40" in out  # the 40% jump at m=10
+
+    def test_spark_batch_training(self, capsys):
+        run_example("spark_batch_training.py")
+        out = capsys.readouterr().out
+        assert "eigenvalue agreement vs local NumPy: True" in out
+        assert "models cached" in out
+
+    def test_streaming_training(self, capsys):
+        run_example("streaming_training.py")
+        out = capsys.readouterr().out
+        assert "refreshed unit" in out
+        assert "fault=shift" in out or "fault=drift" in out
+
+    def test_failure_injection(self, capsys):
+        run_example("failure_injection.py")
+        out = capsys.readouterr().out
+        assert "durability holds" in out
+
+    # fleet_dashboard.py and ingestion_scaling.py run multi-minute
+    # simulations; they are exercised by benchmarks/bench_dashboard.py
+    # and the E1/E6/E7 benches respectively rather than here.
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            source = path.read_text()
+            assert source.startswith("#!/usr/bin/env python3"), path.name
+            assert '"""' in source.split("\n", 2)[1] or '"""' in source, path.name
+            assert 'if __name__ == "__main__":' in source, path.name

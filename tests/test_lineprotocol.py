@@ -1,0 +1,106 @@
+"""Tests for the OpenTSDB telnet line protocol."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tsdb.lineprotocol import (
+    LineProtocolError,
+    format_put_line,
+    parse_lines,
+    parse_put_line,
+)
+from repro.tsdb.tsd import DataPoint
+
+
+class TestParse:
+    def test_basic_line(self):
+        point = parse_put_line("put energy 1234 42.5 unit=u1 sensor=s7")
+        assert point.metric == "energy"
+        assert point.timestamp == 1234
+        assert point.value == 42.5
+        assert dict(point.tags) == {"unit": "u1", "sensor": "s7"}
+
+    def test_whitespace_tolerant(self):
+        point = parse_put_line("  put  m  1  2.0  a=b  \n")
+        assert point.metric == "m"
+
+    def test_scientific_notation_value(self):
+        assert parse_put_line("put m 1 1.5e-3 a=b").value == 1.5e-3
+
+    def test_negative_value_ok(self):
+        assert parse_put_line("put m 1 -7 a=b").value == -7.0
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "get m 1 2.0 a=b",            # wrong verb
+            "put m 1 2.0",                 # missing tags
+            "put m one 2.0 a=b",           # bad timestamp
+            "put m -5 2.0 a=b",            # negative timestamp
+            "put m 1 lots a=b",            # bad value
+            "put m 1 inf a=b",             # non-finite
+            "put m 1 2.0 a=b a=c",         # duplicate tag
+            "put m 1 2.0 noequals",        # malformed tag
+            "put m 1 2.0 =v",              # empty key
+            "put m 1 2.0 k=",              # empty value
+            "put bad metric! 1 2.0 a=b",   # invalid metric chars
+            "put m 1 2.0 sp ace=b",        # invalid tag chars
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(LineProtocolError):
+            parse_put_line(line)
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        point = DataPoint.make("energy", 99, 3.25, {"unit": "u2", "sensor": "s1"})
+        assert parse_put_line(format_put_line(point)) == point
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=999),
+    )
+    def test_roundtrip_property(self, ts, value, unit):
+        point = DataPoint.make("energy", ts, value, {"unit": f"u{unit}"})
+        back = parse_put_line(format_put_line(point))
+        assert back.metric == point.metric
+        assert back.timestamp == point.timestamp
+        assert back.value == pytest.approx(point.value, rel=1e-5)
+        assert back.tags == point.tags
+
+
+class TestParseLines:
+    LINES = [
+        "# capture file",
+        "",
+        "put energy 1 1.0 unit=u0 sensor=s0",
+        "put energy 2 2.0 unit=u0 sensor=s0",
+        "garbage line",
+        "put energy 3 3.0 unit=u0 sensor=s0",
+    ]
+
+    def test_strict_raises(self):
+        with pytest.raises(LineProtocolError):
+            list(parse_lines(self.LINES))
+
+    def test_skip_errors(self):
+        points = list(parse_lines(self.LINES, skip_errors=True))
+        assert [p.timestamp for p in points] == [1, 2, 3]
+
+    def test_comments_and_blanks_skipped(self):
+        points = list(parse_lines(["# c", "   ", "put m 1 1.0 a=b"]))
+        assert len(points) == 1
+
+    def test_end_to_end_into_cluster(self):
+        from repro.tsdb.ingest import build_cluster
+        from repro.tsdb.query import TsdbQuery
+
+        cluster = build_cluster(n_nodes=1, salt_buckets=2, retain_data=True)
+        lines = [
+            f"put energy {t} {float(t)} unit=u0 sensor=s0" for t in range(10)
+        ]
+        cluster.direct_put(parse_lines(lines))
+        out = cluster.query_engine().run(TsdbQuery("energy", 0, 100))
+        assert list(out[0].values) == [float(t) for t in range(10)]

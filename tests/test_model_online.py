@@ -1,0 +1,163 @@
+"""Tests for model artifacts and the online evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fdr import FDRDetector, FDRDetectorConfig
+from repro.core.model import UnitModel, load_model, model_key, save_model
+from repro.core.online import OnlineEvaluator
+from repro.sparklet.storage import BlockStore
+
+
+def trained_model(n=500, p=12, seed=0, **cfg):
+    rng = np.random.default_rng(seed)
+    detector = FDRDetector(**cfg) if cfg else FDRDetector()
+    return detector, detector.fit(rng.normal(loc=10.0, scale=2.0, size=(n, p)), unit_id=4)
+
+
+class TestUnitModel:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            UnitModel(0, np.zeros(3), np.ones(2), np.ones(1), np.zeros((3, 1)),
+                      np.zeros((3, 1)), 10)
+
+    def test_validation_std_positive(self):
+        with pytest.raises(ValueError):
+            UnitModel(0, np.zeros(2), np.array([1.0, 0.0]), np.ones(1),
+                      np.zeros((2, 1)), np.zeros((2, 1)), 10)
+
+    def test_validation_eig_sorted(self):
+        with pytest.raises(ValueError):
+            UnitModel(0, np.zeros(2), np.ones(2), np.array([1.0, 2.0]),
+                      np.zeros((2, 2)), np.zeros((2, 2)), 10)
+
+    def test_validation_negative_eig(self):
+        with pytest.raises(ValueError):
+            UnitModel(0, np.zeros(2), np.ones(2), np.array([1.0, -0.1]),
+                      np.zeros((2, 2)), np.zeros((2, 2)), 10)
+
+    def test_validation_n_train(self):
+        with pytest.raises(ValueError):
+            UnitModel(0, np.zeros(2), np.ones(2), np.ones(1),
+                      np.zeros((2, 1)), np.zeros((2, 1)), 1)
+
+    def test_properties(self):
+        _, model = trained_model()
+        assert model.n_sensors == 12
+        assert 1 <= model.n_components <= 12
+        ratios = model.explained_variance_ratio()
+        assert np.all(ratios >= 0)
+        assert ratios.sum() <= 1.0 + 1e-9
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = BlockStore(tmp_path)
+        _, model = trained_model()
+        key = save_model(store, model)
+        assert key == model_key(4)
+        loaded = load_model(store, 4)
+        assert loaded is not None
+        assert loaded.unit_id == 4
+        assert np.array_equal(loaded.mean, model.mean)
+        assert np.array_equal(loaded.std, model.std)
+        assert np.array_equal(loaded.whitening, model.whitening)
+        assert loaded.n_train == model.n_train
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_model(BlockStore(tmp_path), 99) is None
+
+    def test_loaded_model_scores_identically(self, tmp_path):
+        store = BlockStore(tmp_path)
+        detector, model = trained_model()
+        save_model(store, model)
+        loaded = load_model(store, 4)
+        x = np.random.default_rng(1).normal(loc=10.0, scale=2.0, size=(50, 12))
+        a = detector.detect(model, x)
+        b = detector.detect(loaded, x)
+        assert np.array_equal(a.flags, b.flags)
+        assert np.allclose(a.pvalues, b.pvalues)
+
+
+class TestOnlineEvaluator:
+    def test_matches_batch_detect(self):
+        detector, model = trained_model()
+        x = np.random.default_rng(3).normal(loc=10.0, scale=2.0, size=(200, 12))
+        x[120:, 4] += 9.0
+        batch_report = detector.detect(model, x)
+        online = OnlineEvaluator(model, detector.config)
+        flags, alarms = online.evaluate(x)
+        assert np.array_equal(flags, batch_report.flags)
+        assert np.array_equal(alarms, batch_report.unit_alarm)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=8))
+    def test_chunked_equals_oneshot(self, chunk_sizes):
+        """Feeding any chunking of the stream matches one-shot evaluation."""
+        detector, model = trained_model()
+        total = sum(chunk_sizes)
+        x = np.random.default_rng(9).normal(loc=10.0, scale=2.0, size=(total, 12))
+        x[total // 2 :, 2] += 6.0
+        oneshot, _ = OnlineEvaluator(model, detector.config).evaluate(x)
+        online = OnlineEvaluator(model, detector.config)
+        chunks = []
+        pos = 0
+        for size in chunk_sizes:
+            f, _ = online.evaluate(x[pos : pos + size])
+            chunks.append(f)
+            pos += size
+        assert np.array_equal(np.vstack(chunks), oneshot)
+
+    def test_reset_clears_carry(self):
+        detector, model = trained_model()
+        online = OnlineEvaluator(model, detector.config)
+        x = np.random.default_rng(5).normal(loc=10.0, scale=2.0, size=(40, 12))
+        online.evaluate(x)
+        online.reset()
+        assert online.stats.samples == 0
+        f1, _ = online.evaluate(x)
+        f2, _ = OnlineEvaluator(model, detector.config).evaluate(x)
+        assert np.array_equal(f1, f2)
+
+    def test_stats_accumulate(self):
+        detector, model = trained_model()
+        online = OnlineEvaluator(model, detector.config)
+        x = np.random.default_rng(5).normal(loc=10.0, scale=2.0, size=(30, 12))
+        online.evaluate(x)
+        online.evaluate(x)
+        assert online.stats.samples == 2 * 30 * 12
+        assert online.stats.batches == 2
+
+    def test_throughput_helper(self):
+        detector, model = trained_model()
+        online = OnlineEvaluator(model, detector.config)
+        online.evaluate(np.random.default_rng(1).normal(10, 2, size=(10, 12)))
+        assert online.throughput_samples_per_second(1.0) == 120
+        with pytest.raises(ValueError):
+            online.throughput_samples_per_second(0.0)
+
+    def test_shape_validation(self):
+        detector, model = trained_model()
+        online = OnlineEvaluator(model, detector.config)
+        with pytest.raises(ValueError):
+            online.evaluate(np.zeros((5, 3)))
+
+    def test_evaluate_stream(self):
+        detector, model = trained_model()
+        online = OnlineEvaluator(model, detector.config)
+        x = np.random.default_rng(2).normal(10, 2, size=(60, 12))
+        batches = [x[:20], x[20:40], x[40:]]
+        results = list(online.evaluate_stream(iter(batches)))
+        assert len(results) == 3
+        assert sum(f.shape[0] for f, _ in results) == 60
+
+    def test_window_one_no_carry(self):
+        detector, model = trained_model()
+        cfg = FDRDetectorConfig(window=1)
+        online = OnlineEvaluator(model, cfg)
+        x = np.random.default_rng(2).normal(10, 2, size=(20, 12))
+        f1, _ = online.evaluate(x[:10])
+        f2, _ = online.evaluate(x[10:])
+        oneshot, _ = OnlineEvaluator(model, cfg).evaluate(x)
+        assert np.array_equal(np.vstack([f1, f2]), oneshot)

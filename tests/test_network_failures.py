@@ -1,0 +1,186 @@
+"""Tests for the network model and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import OverflowCrashPolicy, RandomCrashInjector
+from repro.cluster.network import LatencyModel, Network
+from repro.cluster.simulation import Simulator
+
+
+class TestLatencyModel:
+    def test_local_faster_than_remote(self):
+        model = LatencyModel(base=0.001, local_base=0.0001)
+        assert model.sample("a", "a") < model.sample("a", "b")
+
+    def test_deterministic_without_jitter(self):
+        model = LatencyModel(base=0.002, jitter=0.0)
+        assert model.sample("a", "b") == 0.002
+
+    def test_jitter_adds_positive(self):
+        model = LatencyModel(base=0.001, jitter=0.01, rng=np.random.default_rng(1))
+        samples = [model.sample("a", "b") for _ in range(100)]
+        assert all(s >= 0.001 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base=-1)
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base=0.01, jitter=0.0))
+        seen = []
+        net.send("a", "b", lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.01]
+
+    def test_messages_counted(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.send("a", "b", lambda: None)
+        net.send("a", "b", lambda: None)
+        assert net.messages_sent == 2
+
+    def test_partition_drops_messages(self):
+        sim = Simulator()
+        net = Network(sim)
+        seen = []
+        net.partition("b")
+        assert net.send("a", "b", seen.append, 1) is None
+        assert net.send("b", "a", seen.append, 2) is None
+        sim.run()
+        assert seen == []
+        assert net.messages_dropped == 2
+
+    def test_heal_restores(self):
+        sim = Simulator()
+        net = Network(sim)
+        seen = []
+        net.partition("b")
+        net.heal("b")
+        assert not net.is_partitioned("b")
+        net.send("a", "b", seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestOverflowCrashPolicy:
+    def test_crashes_after_budget_exceeded(self):
+        sim = Simulator()
+        crashed = []
+        policy = OverflowCrashPolicy(
+            sim, on_crash=lambda: crashed.append(sim.now),
+            reject_budget=3, window=1.0, restart_delay=None,
+        )
+        for _ in range(3):
+            assert policy.record_rejection() is False
+        assert policy.record_rejection() is True
+        assert policy.crashed
+        assert len(crashed) == 1
+
+    def test_old_rejections_expire(self):
+        sim = Simulator()
+        policy = OverflowCrashPolicy(
+            sim, on_crash=lambda: None, reject_budget=2, window=1.0, restart_delay=None
+        )
+        policy.record_rejection()
+        policy.record_rejection()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        # window slid past the earlier rejections; budget refreshed
+        assert policy.record_rejection() is False
+        assert not policy.crashed
+
+    def test_restart_after_delay(self):
+        sim = Simulator()
+        events = []
+        policy = OverflowCrashPolicy(
+            sim,
+            on_crash=lambda: events.append(("crash", sim.now)),
+            on_restart=lambda: events.append(("restart", sim.now)),
+            reject_budget=1,
+            window=1.0,
+            restart_delay=5.0,
+        )
+        policy.record_rejection()
+        policy.record_rejection()
+        sim.run()
+        assert events == [("crash", 0.0), ("restart", 5.0)]
+        assert not policy.crashed
+        assert policy.crash_count == 1
+
+    def test_rejections_ignored_while_crashed(self):
+        sim = Simulator()
+        policy = OverflowCrashPolicy(
+            sim, on_crash=lambda: None, reject_budget=1, window=1.0, restart_delay=None
+        )
+        policy.record_rejection()
+        policy.record_rejection()
+        assert policy.crashed
+        assert policy.record_rejection() is False
+        assert policy.crash_count == 1
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OverflowCrashPolicy(sim, lambda: None, reject_budget=0)
+        with pytest.raises(ValueError):
+            OverflowCrashPolicy(sim, lambda: None, window=0.0)
+
+
+class TestRandomCrashInjector:
+    def test_injects_and_recovers(self):
+        sim = Simulator()
+        events = []
+        injector = RandomCrashInjector(
+            sim,
+            crash=lambda: events.append("crash"),
+            restart=lambda: events.append("restart"),
+            mtbf=1.0,
+            mttr=0.5,
+            seed=42,
+        )
+        injector.arm()
+        sim.run(until=20.0)
+        assert injector.injected > 0
+        # a final crash may still be awaiting its recovery at the horizon
+        assert events.count("crash") - events.count("restart") in (0, 1)
+        # alternating crash/restart
+        for i in range(0, len(events) - 1, 2):
+            assert events[i] == "crash" and events[i + 1] == "restart"
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sim = Simulator()
+            times = []
+            inj = RandomCrashInjector(
+                sim, crash=lambda: times.append(sim.now), restart=lambda: None,
+                mtbf=1.0, mttr=0.1, seed=7,
+            )
+            inj.arm()
+            sim.run(until=10.0)
+            return times
+
+        assert run() == run()
+
+    def test_disarm_stops_injection(self):
+        sim = Simulator()
+        count = [0]
+        inj = RandomCrashInjector(
+            sim, crash=lambda: count.__setitem__(0, count[0] + 1),
+            restart=lambda: None, mtbf=0.5, mttr=0.1, seed=3,
+        )
+        inj.arm()
+        sim.run(until=2.0)
+        inj.disarm()
+        seen = count[0]
+        sim.run(until=20.0)
+        assert count[0] <= seen + 1  # at most one already-scheduled firing
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RandomCrashInjector(sim, lambda: None, lambda: None, mtbf=0.0, mttr=1.0)

@@ -1,0 +1,85 @@
+"""Tests for the timing-aware (RPC-path) query executor."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb.ingest import build_cluster
+from repro.tsdb.query import TsdbQuery
+from repro.tsdb.tsd import DataPoint
+
+
+@pytest.fixture()
+def loaded():
+    cluster = build_cluster(n_nodes=3, salt_buckets=6, retain_data=True)
+    points = []
+    for t in range(60):
+        for u in range(2):
+            for s in range(3):
+                points.append(
+                    DataPoint.make(
+                        "energy", t, float(u * 10 + s + t),
+                        {"unit": f"u{u}", "sensor": f"s{s}"},
+                    )
+                )
+    cluster.direct_put(points)
+    return cluster
+
+
+class TestAsyncQueryExecutor:
+    def test_matches_offline_engine(self, loaded):
+        query = TsdbQuery("energy", 0, 100, tag_filters={"unit": "u0"},
+                          group_by=("sensor",))
+        offline = loaded.query_engine().run(query)
+        result = loaded.async_query_executor().execute_sync(query)
+        assert len(result.series) == len(offline)
+        for a, b in zip(result.series, offline):
+            assert a.tags == b.tags
+            assert np.array_equal(a.timestamps, b.timestamps)
+            assert np.allclose(a.values, b.values)
+
+    def test_matches_with_aggregation_and_downsample(self, loaded):
+        query = TsdbQuery("energy", 0, 100, aggregator="sum",
+                          downsample_window=10, downsample_aggregator="avg")
+        offline = loaded.query_engine().run(query)
+        online = loaded.async_query_executor().execute_sync(query).series
+        assert np.allclose(online[0].values, offline[0].values)
+
+    def test_latency_positive_and_fanout(self, loaded):
+        query = TsdbQuery("energy", 0, 100)
+        result = loaded.async_query_executor().execute_sync(query)
+        assert result.latency > 0
+        assert result.scans_issued == 6  # one per salt bucket
+
+    def test_unknown_metric_resolves_immediately(self, loaded):
+        result = loaded.async_query_executor().execute_sync(
+            TsdbQuery("ghost", 0, 100)
+        )
+        assert result.series == []
+        assert result.scans_issued == 0
+
+    def test_salting_read_amplification(self):
+        """The read-side cost of salting: scans fan out per bucket."""
+        def scans_for(buckets):
+            cluster = build_cluster(n_nodes=2, salt_buckets=buckets, retain_data=True)
+            cluster.direct_put(
+                [DataPoint.make("energy", t, 1.0, {"unit": "u0", "sensor": "s0"})
+                 for t in range(10)]
+            )
+            return cluster.async_query_executor().execute_sync(
+                TsdbQuery("energy", 0, 100)
+            ).scans_issued
+
+        assert scans_for(0) == 1
+        assert scans_for(8) == 8
+
+    def test_concurrent_queries_resolve(self, loaded):
+        executor = loaded.async_query_executor()
+        results = []
+        for unit in ("u0", "u1"):
+            executor.execute(
+                TsdbQuery("energy", 0, 100, tag_filters={"unit": unit}),
+                results.append,
+            )
+        loaded.sim.run()
+        assert len(results) == 2
+        assert all(r.series for r in results)

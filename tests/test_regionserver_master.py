@@ -1,0 +1,370 @@
+"""Tests for RegionServers, the master and crash recovery."""
+
+import pytest
+
+from repro.cluster.failures import OverflowCrashPolicy
+from repro.cluster.network import LatencyModel, Network
+from repro.cluster.node import Node
+from repro.cluster.simulation import Simulator
+from repro.hbase.master import HMaster, TableNotFoundError
+from repro.hbase.region import Cell
+from repro.hbase.regionserver import (
+    GetRequest,
+    PutRequest,
+    RegionServer,
+    ScanRequest,
+    ServiceModel,
+)
+
+
+def build(n_servers=3, queue_capacity=64, crash_budget=None):
+    sim = Simulator()
+    net = Network(sim, LatencyModel(base=0.0001, jitter=0.0))
+    master = HMaster()
+    servers = []
+    for i in range(n_servers):
+        node = Node(sim, f"host{i}")
+        factory = None
+        if crash_budget is not None:
+            def factory(srv, budget=crash_budget):
+                return OverflowCrashPolicy(
+                    sim, on_crash=srv.crash, on_restart=srv.restart,
+                    reject_budget=budget, window=1.0, restart_delay=2.0,
+                )
+        rs = RegionServer(
+            sim, net, node, f"rs{i}", queue_capacity=queue_capacity,
+            crash_policy_factory=factory,
+        )
+        master.register_server(rs)
+        servers.append(rs)
+    return sim, net, master, servers
+
+
+def put_cells(rows, ts=1.0):
+    return [Cell(row, b"q", b"v", ts) for row in rows]
+
+
+class TestTableLifecycle:
+    def test_create_single_region(self):
+        sim, net, master, servers = build()
+        master.create_table("t")
+        regions = master.table_regions("t")
+        assert len(regions) == 1
+        info, server = regions[0]
+        assert info.start_key == b"" and info.end_key == b""
+        assert server in {s.name for s in servers}
+
+    def test_presplit_regions_cover_keyspace(self):
+        sim, net, master, _ = build()
+        master.create_table("t", [b"b", b"m"])
+        regions = master.table_regions("t")
+        assert [(r.start_key, r.end_key) for r, _ in regions] == [
+            (b"", b"b"), (b"b", b"m"), (b"m", b""),
+        ]
+
+    def test_presplit_round_robin_assignment(self):
+        sim, net, master, servers = build(n_servers=3)
+        master.create_table("t", [b"1", b"2", b"3", b"4", b"5"])
+        counts = {}
+        for _, server in master.table_regions("t"):
+            counts[server] = counts.get(server, 0) + 1
+        assert set(counts.values()) == {2}
+
+    def test_duplicate_table_rejected(self):
+        _, _, master, _ = build()
+        master.create_table("t")
+        with pytest.raises(ValueError):
+            master.create_table("t")
+
+    def test_bad_split_keys(self):
+        _, _, master, _ = build()
+        with pytest.raises(ValueError):
+            master.create_table("t", [b""])
+        with pytest.raises(ValueError):
+            master.create_table("t2", [b"a", b"a"])
+
+    def test_unknown_table(self):
+        _, _, master, _ = build()
+        with pytest.raises(TableNotFoundError):
+            master.locate("nope", b"x")
+
+
+class TestLocate:
+    def test_locate_picks_covering_region(self):
+        _, _, master, _ = build()
+        master.create_table("t", [b"m"])
+        info, _ = master.locate("t", b"a")
+        assert info.end_key == b"m"
+        info, _ = master.locate("t", b"z")
+        assert info.start_key == b"m"
+
+    def test_locate_boundary_belongs_to_right(self):
+        _, _, master, _ = build()
+        master.create_table("t", [b"m"])
+        info, _ = master.locate("t", b"m")
+        assert info.start_key == b"m"
+
+    def test_locate_range(self):
+        _, _, master, _ = build()
+        master.create_table("t", [b"b", b"d"])
+        hit = master.locate_range("t", b"a", b"c")
+        assert [r.start_key for r, _ in hit] == [b"", b"b"]
+        everything = master.locate_range("t", b"", b"")
+        assert len(everything) == 3
+
+
+class TestRpcPath:
+    def test_put_then_get(self):
+        sim, net, master, servers = build()
+        master.create_table("t")
+        _, server_name = master.locate("t", b"row")
+        rs = master.server(server_name)
+        replies = []
+        rs.rpc(PutRequest("t", put_cells([b"row"])), replies.append, "client")
+        sim.run()
+        assert replies[0].ok and replies[0].result == 1
+        rs.rpc(GetRequest("t", b"row", b"q"), replies.append, "client")
+        sim.run()
+        assert replies[1].ok and replies[1].result.value == b"v"
+
+    def test_put_wrong_server_not_serving(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t", [b"m"])
+        # find a server and a row it does NOT host
+        target = servers[0]
+        hosted_ranges = [r.info for r in target.hosted_regions()]
+        row = b"a" if not any(i.contains(b"a") for i in hosted_ranges) else b"z"
+        replies = []
+        target.rpc(PutRequest("t", put_cells([row])), replies.append, "client")
+        sim.run()
+        assert not replies[0].ok
+        assert "NotServing" in replies[0].error
+        assert replies[0].retryable
+
+    def test_scan_returns_sorted_cells(self):
+        sim, net, master, _ = build(n_servers=1)
+        master.create_table("t")
+        _, name = master.locate("t", b"x")
+        rs = master.server(name)
+        replies = []
+        rs.rpc(PutRequest("t", put_cells([b"c", b"a", b"b"])), replies.append, "cl")
+        sim.run()
+        rs.rpc(ScanRequest("t"), replies.append, "cl")
+        sim.run()
+        assert [c.row for c in replies[1].result] == [b"a", b"b", b"c"]
+
+    def test_queue_overflow_rejects_rpc(self):
+        sim, net, master, servers = build(n_servers=1, queue_capacity=1)
+        master.create_table("t")
+        rs = servers[0]
+        replies = []
+        for _ in range(5):
+            rs.rpc(PutRequest("t", put_cells([b"r"])), replies.append, "cl")
+        sim.run()
+        failures = [r for r in replies if not r.ok]
+        assert failures and all("CallQueueTooBig" in r.error for r in failures)
+
+    def test_wal_roll_truncates(self):
+        sim, net, master, servers = build(n_servers=1)
+        master.create_table("t")
+        rs = servers[0]
+        rs.wal_roll_threshold = 10
+        replies = []
+        for i in range(4):
+            rows = [b"r%d%d" % (i, j) for j in range(5)]
+            rs.rpc(PutRequest("t", put_cells(rows)), replies.append, "cl")
+        sim.run()
+        assert len(rs.wal) <= 10
+
+
+class TestCrashRecovery:
+    def test_crash_reassigns_regions(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t")
+        _, owner = master.locate("t", b"row")
+        victim = master.server(owner)
+        victim.crash()
+        _, new_owner = master.locate("t", b"row")
+        assert new_owner is not None and new_owner != owner
+
+    def test_synced_writes_survive_crash(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t")
+        _, owner = master.locate("t", b"row")
+        rs = master.server(owner)
+        replies = []
+        rs.rpc(PutRequest("t", put_cells([b"row"])), replies.append, "cl")
+        sim.run()
+        assert replies[0].ok
+        rs.crash()
+        cells = master.direct_scan("t")
+        assert [c.row for c in cells] == [b"row"]
+        assert master.recoveries == 1
+
+    def test_crashed_server_znode_removed(self):
+        sim, net, master, servers = build(n_servers=2)
+        name = servers[0].name
+        assert master.zk.exists(f"/hbase/rs/{name}")
+        servers[0].crash()
+        assert not master.zk.exists(f"/hbase/rs/{name}")
+
+    def test_restart_rejoins_and_rebalances(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t", [b"1", b"2", b"3"])
+        servers[0].crash()
+        assert all(srv == servers[1].name for _, srv in master.table_regions("t"))
+        servers[0].restart()
+        owners = {srv for _, srv in master.table_regions("t")}
+        assert owners == {servers[0].name, servers[1].name}
+
+    def test_overflow_crash_policy_end_to_end(self):
+        sim, net, master, servers = build(n_servers=1, queue_capacity=0, crash_budget=3)
+        master.create_table("t")
+        rs = servers[0]
+        for _ in range(8):
+            rs.rpc(PutRequest("t", put_cells([b"r"])), lambda r: None, "cl")
+        assert rs.crashed
+        sim.run()  # restart_delay elapses
+        assert not rs.crashed
+
+    def test_no_live_servers_leaves_unassigned(self):
+        sim, net, master, servers = build(n_servers=1)
+        master.create_table("t")
+        servers[0].crash()
+        _, owner = master.locate("t", b"x")
+        assert owner is None
+
+
+class TestAdministrivia:
+    def test_split_region_and_locate(self):
+        sim, net, master, _ = build(n_servers=2)
+        master.create_table("t")
+        _, owner = master.locate("t", b"row5")
+        rs = master.server(owner)
+        replies = []
+        rs.rpc(PutRequest("t", put_cells([b"row%d" % i for i in range(10)])),
+               replies.append, "cl")
+        sim.run()
+        region_name = master.table_regions("t")[0][0].name
+        left, right = master.split_region("t", region_name)
+        assert len(master.table_regions("t")) == 2
+        # every original row still findable
+        assert len(master.direct_scan("t")) == 10
+
+    def test_split_needs_data(self):
+        _, _, master, _ = build()
+        master.create_table("t")
+        with pytest.raises(ValueError):
+            master.split_region("t", master.table_regions("t")[0][0].name)
+
+    def test_move_region(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t")
+        region_name, owner = (
+            master.table_regions("t")[0][0].name,
+            master.table_regions("t")[0][1],
+        )
+        dest = next(s.name for s in servers if s.name != owner)
+        master.move_region("t", region_name, dest)
+        assert master.table_regions("t")[0][1] == dest
+
+    def test_move_to_dead_server_rejected(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t")
+        servers[1].crash()
+        region_name = master.table_regions("t")[0][0].name
+        with pytest.raises(ValueError):
+            master.move_region("t", region_name, servers[1].name)
+
+    def test_balance_evens_out(self):
+        sim, net, master, servers = build(n_servers=2)
+        master.create_table("t", [b"%d" % i for i in range(1, 8)])  # 8 regions
+        # pile everything on server 0
+        for info, owner in master.table_regions("t"):
+            if owner != servers[0].name:
+                master.move_region("t", info.name, servers[0].name)
+        moves = master.balance()
+        assert moves > 0
+        counts = {}
+        for _, owner in master.table_regions("t"):
+            counts[owner] = counts.get(owner, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_service_model_costs(self):
+        m = ServiceModel()
+        assert m.put_cost(50) > m.put_cost(1) > 0
+        assert m.get_cost() > 0
+        assert m.scan_cost(0) >= m.scan_cost(0)
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, master, servers = build(n_servers=1)
+        with pytest.raises(ValueError):
+            master.register_server(servers[0])
+
+
+class TestAutoSplit:
+    def populate(self, master, n_rows=40):
+        _, owner = master.locate("t", b"r")
+        rs = master.server(owner)
+        replies = []
+        rs.rpc(
+            PutRequest("t", put_cells([b"row%03d" % i for i in range(n_rows)])),
+            replies.append, "cl",
+        )
+        return replies
+
+    def test_disabled_by_default(self):
+        sim, net, master, _ = build(n_servers=2)
+        master.create_table("t")
+        self.populate(master)
+        sim.run()
+        assert master.run_auto_split_pass() == 0
+
+    def test_split_when_over_threshold(self):
+        sim, net, master, _ = build(n_servers=2)
+        master.create_table("t")
+        self.populate(master, n_rows=40)
+        sim.run()
+        master.enable_auto_split(10)
+        splits = master.run_auto_split_pass()
+        assert splits >= 1
+        assert len(master.table_regions("t")) >= 2
+        # all data still present and findable
+        assert len(master.direct_scan("t")) == 40
+
+    def test_repeated_passes_converge(self):
+        sim, net, master, _ = build(n_servers=2)
+        master.create_table("t")
+        self.populate(master, n_rows=64)
+        sim.run()
+        master.enable_auto_split(10)
+        for _ in range(10):
+            if master.run_auto_split_pass() == 0:
+                break
+        # converged: every region at or below threshold (or unsplittable)
+        for a in master._tables["t"]:
+            assert a.region.cell_count() <= 10 or a.region.midpoint_key() is None
+        assert len(master.direct_scan("t")) == 64
+
+    def test_small_regions_untouched(self):
+        sim, net, master, _ = build(n_servers=2)
+        master.create_table("t")
+        self.populate(master, n_rows=5)
+        sim.run()
+        master.enable_auto_split(10)
+        assert master.run_auto_split_pass() == 0
+        assert len(master.table_regions("t")) == 1
+
+    def test_threshold_validation(self):
+        _, _, master, _ = build(n_servers=1)
+        with pytest.raises(ValueError):
+            master.enable_auto_split(1)
+
+    def test_disable(self):
+        sim, net, master, _ = build(n_servers=2)
+        master.create_table("t")
+        self.populate(master, n_rows=40)
+        sim.run()
+        master.enable_auto_split(10)
+        master.disable_auto_split()
+        assert master.run_auto_split_pass() == 0

@@ -1,0 +1,138 @@
+"""Tests for DAG scheduling, shuffle internals and partitioners."""
+
+import operator
+
+import pytest
+
+from repro.sparklet import HashPartitioner, RangePartitioner, SparkletContext
+from repro.sparklet.shuffle import Aggregator, ShuffleManager
+
+
+@pytest.fixture()
+def sc():
+    with SparkletContext(parallelism=3, executor="serial") as ctx:
+        yield ctx
+
+
+class TestStagePlanning:
+    def test_narrow_only_job_is_single_stage(self, sc):
+        sc.range(10).map(lambda x: x + 1).collect()
+        metrics = sc.scheduler.last_job
+        assert metrics.stages == 1
+
+    def test_one_shuffle_two_stages(self, sc):
+        sc.range(10).key_by(lambda x: x % 2).reduce_by_key(operator.add).collect()
+        assert sc.scheduler.last_job.stages == 2
+
+    def test_chained_shuffles_stack_stages(self, sc):
+        (
+            sc.range(20)
+            .key_by(lambda x: x % 4)
+            .reduce_by_key(operator.add)
+            .map(lambda kv: (kv[0] % 2, kv[1]))
+            .reduce_by_key(operator.add)
+            .collect()
+        )
+        assert sc.scheduler.last_job.stages == 3
+
+    def test_shuffle_reused_across_jobs(self, sc):
+        rdd = sc.range(10).key_by(lambda x: x % 2).reduce_by_key(operator.add)
+        rdd.collect()
+        rdd.count()  # same shuffle dep: map stage must not re-run
+        assert sc.scheduler.last_job.stages == 1
+
+    def test_diamond_dependency_shuffles_once(self, sc):
+        base = sc.range(10).key_by(lambda x: x % 3).reduce_by_key(operator.add)
+        left = base.map_values(lambda v: v * 2)
+        right = base.map_values(lambda v: v + 1)
+        union = left.union(right)
+        out = union.collect()
+        assert len(out) == 6
+        # one map stage (shared shuffle) + result stage
+        assert sc.scheduler.last_job.stages == 2
+
+    def test_task_counts(self, sc):
+        sc.range(12, num_slices=4).map(lambda x: x).collect()
+        assert sc.scheduler.last_job.tasks == 4
+
+    def test_partial_partition_job(self, sc):
+        out = sc.run_job(sc.range(10, num_slices=5), list, partitions=[1, 3])
+        assert out == [[2, 3], [6, 7]]
+
+
+class TestShuffleManager:
+    def test_write_read_grouped(self):
+        mgr = ShuffleManager()
+        part = HashPartitioner(2)
+        mgr.write(0, 0, [("a", 1), ("b", 2)], part)
+        mgr.write(0, 1, [("a", 3)], part)
+        merged = {}
+        for reduce_part in range(2):
+            merged.update(dict(mgr.read(0, reduce_part, num_map_partitions=2)))
+        assert sorted(merged["a"]) == [1, 3]
+        assert merged["b"] == [2]
+
+    def test_map_side_combine_shrinks_records(self):
+        mgr = ShuffleManager()
+        part = HashPartitioner(1)
+        agg = Aggregator(lambda v: v, operator.add, operator.add)
+        records = [("k", 1)] * 100
+        mgr.write(5, 0, records, part, agg)
+        metrics = mgr.metrics[5]
+        assert metrics.records_in == 100
+        assert metrics.records_out == 1
+        out = dict(mgr.read(5, 0, 1, agg))
+        assert out["k"] == 100
+
+    def test_maps_completed_tracking(self):
+        mgr = ShuffleManager()
+        part = HashPartitioner(1)
+        mgr.write(1, 0, [], part)
+        mgr.write(1, 2, [], part)
+        assert mgr.maps_completed(1) == 2
+
+    def test_free_releases_blocks(self):
+        mgr = ShuffleManager()
+        part = HashPartitioner(1)
+        mgr.write(2, 0, [("k", 1)], part)
+        mgr.free(2)
+        assert dict(mgr.read(2, 0, 1)) == {}
+        assert mgr.maps_completed(2) == 0
+
+
+class TestPartitioners:
+    def test_hash_partitioner_stable_across_instances(self):
+        a, b = HashPartitioner(8), HashPartitioner(8)
+        for key in ("alpha", b"bytes", 42, ("tup", 3)):
+            assert a.partition(key) == b.partition(key)
+
+    def test_hash_partitioner_range(self):
+        part = HashPartitioner(5)
+        for key in range(100):
+            assert 0 <= part.partition(key) < 5
+
+    def test_hash_spread(self):
+        part = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(400):
+            counts[part.partition(f"key-{i}")] += 1
+        assert min(counts) > 50
+
+    def test_range_partitioner_ordering(self):
+        part = RangePartitioner([10, 20])
+        assert part.partition(5) == 0
+        assert part.partition(10) == 1
+        assert part.partition(15) == 1
+        assert part.partition(25) == 2
+        assert part.num_partitions == 3
+
+    def test_equality(self):
+        assert HashPartitioner(3) == HashPartitioner(3)
+        assert HashPartitioner(3) != HashPartitioner(4)
+        assert RangePartitioner([1]) == RangePartitioner([1])
+        assert RangePartitioner([1]) != RangePartitioner([2])
+        assert HashPartitioner(2) != RangePartitioner([1])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)

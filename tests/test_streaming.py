@@ -1,0 +1,291 @@
+"""Tests for the D-Stream engine and streaming (online) training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fdr import FDRDetector, FDRDetectorConfig
+from repro.core.online import OnlineEvaluator
+from repro.core.streaming import IncrementalMoments, StreamingTrainer
+from repro.simdata import FleetConfig, FleetGenerator
+from repro.sparklet import SparkletContext, StreamingContext
+
+
+@pytest.fixture()
+def sc():
+    with SparkletContext(parallelism=2, executor="serial") as ctx:
+        yield ctx
+
+
+class TestDStreamBasics:
+    def test_queue_stream_map(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        ssc.queue_stream([[1, 2], [3]]).map(lambda x: x * 10).collect_batches(out)
+        assert ssc.run() == 2
+        assert out == [[10, 20], [30]]
+
+    def test_filter_and_flat_map(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        (
+            ssc.queue_stream([["a b", "c"], ["d e"]])
+            .flat_map(str.split)
+            .filter(lambda w: w != "c")
+            .collect_batches(out)
+        )
+        ssc.run()
+        assert out == [["a", "b"], ["d", "e"]]
+
+    def test_reduce_by_key_per_batch(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        (
+            ssc.queue_stream([[("a", 1), ("a", 2)], [("a", 5), ("b", 1)]])
+            .reduce_by_key(lambda x, y: x + y)
+            .collect_batches(out)
+        )
+        ssc.run()
+        assert dict(out[0]) == {"a": 3}
+        assert dict(out[1]) == {"a": 5, "b": 1}
+
+    def test_count_by_value(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        ssc.queue_stream([["x", "y", "x"]]).count_by_value().collect_batches(out)
+        ssc.run()
+        assert dict(out[0]) == {"x": 2, "y": 1}
+
+    def test_run_limit(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        ssc.queue_stream([[1], [2], [3]]).collect_batches(out)
+        assert ssc.run(num_intervals=2) == 2
+        assert out == [[1], [2]]
+        assert ssc.run() == 1  # resumes where it left off
+        assert out == [[1], [2], [3]]
+
+    def test_exhausted_source_ends_stream(self, sc):
+        ssc = StreamingContext(sc)
+        ssc.queue_stream([[1]]).collect_batches([])
+        assert ssc.run() == 1
+        assert ssc.run() == 0
+
+    def test_no_sources_raises(self, sc):
+        with pytest.raises(RuntimeError):
+            StreamingContext(sc).run()
+
+    def test_invalid_interval(self, sc):
+        with pytest.raises(ValueError):
+            StreamingContext(sc, batch_interval=0.0)
+
+    def test_transform_arbitrary(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        ssc.queue_stream([[3, 1, 2]]).transform(
+            lambda rdd: rdd.sort_by(lambda x: x)
+        ).collect_batches(out)
+        ssc.run()
+        assert out == [[1, 2, 3]]
+
+
+class TestWindows:
+    def test_window_unions_recent_batches(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        ssc.queue_stream([[1], [2], [3], [4]]).window(2).collect_batches(out)
+        ssc.run()
+        assert out == [[1], [1, 2], [2, 3], [3, 4]]
+
+    def test_window_with_slide(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        ssc.queue_stream([[1], [2], [3], [4]]).window(2, slide=2).collect_batches(out)
+        ssc.run()
+        assert out == [[1, 2], [3, 4]]
+
+    def test_reduce_by_key_and_window(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        batches = [[("a", 1)], [("a", 2)], [("a", 4)]]
+        ssc.queue_stream(batches).reduce_by_key_and_window(
+            lambda x, y: x + y, window_length=2
+        ).collect_batches(out)
+        ssc.run()
+        assert [dict(b)["a"] for b in out] == [1, 3, 6]
+
+    def test_invalid_window(self, sc):
+        ssc = StreamingContext(sc)
+        with pytest.raises(ValueError):
+            ssc.queue_stream([[1]]).window(0)
+
+
+class TestState:
+    def test_update_state_by_key_running_sum(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        batches = [[("a", 1), ("b", 2)], [("a", 3)], [("b", 1)]]
+        (
+            ssc.queue_stream(batches)
+            .update_state_by_key(lambda new, old: (old or 0) + sum(new))
+            .collect_batches(out)
+        )
+        ssc.run()
+        assert dict(out[0]) == {"a": 1, "b": 2}
+        assert dict(out[1]) == {"a": 4, "b": 2}
+        assert dict(out[2]) == {"a": 4, "b": 3}
+
+    def test_state_key_dropped_on_none(self, sc):
+        ssc = StreamingContext(sc)
+        out = []
+        batches = [[("a", 1)], [("a", -1)]]
+
+        def update(new, old):
+            total = (old or 0) + sum(new)
+            return total if total > 0 else None
+
+        ssc.queue_stream(batches).update_state_by_key(update).collect_batches(out)
+        ssc.run()
+        assert dict(out[0]) == {"a": 1}
+        assert out[1] == []
+
+
+class TestIncrementalMoments:
+    def test_matches_batch_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(500, 8))
+        inc = IncrementalMoments(8)
+        for start in range(0, 500, 37):
+            inc.update(x[start : start + 37])
+        assert inc.count == 500
+        assert np.allclose(inc.mean, x.mean(axis=0))
+        assert np.allclose(inc.covariance(), np.cov(x, rowvar=False))
+        assert np.allclose(inc.std(), x.std(axis=0, ddof=1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=8))
+    def test_any_chunking_matches_batch(self, chunks):
+        rng = np.random.default_rng(sum(chunks))
+        x = rng.normal(size=(sum(chunks), 4))
+        inc = IncrementalMoments(4)
+        pos = 0
+        for n in chunks:
+            inc.update(x[pos : pos + n])
+            pos += n
+        if inc.count >= 2:
+            assert np.allclose(inc.covariance(), np.cov(x, rowvar=False), atol=1e-9)
+
+    def test_merge_equivalent_to_sequential(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(60, 5)), rng.normal(size=(40, 5))
+        left = IncrementalMoments(5)
+        left.update(a)
+        right = IncrementalMoments(5)
+        right.update(b)
+        merged = left.merge(right)
+        ref = IncrementalMoments(5)
+        ref.update(np.vstack([a, b]))
+        assert np.allclose(merged.mean, ref.mean)
+        assert np.allclose(merged.covariance(), ref.covariance())
+
+    def test_merge_with_empty(self):
+        a = IncrementalMoments(3)
+        a.update(np.ones((5, 3)))
+        empty = IncrementalMoments(3)
+        assert a.merge(empty).count == 5
+        assert empty.merge(a).count == 5
+
+    def test_empty_batch_ignored(self):
+        inc = IncrementalMoments(2)
+        inc.update(np.empty((0, 2)))
+        assert inc.count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalMoments(0)
+        inc = IncrementalMoments(2)
+        with pytest.raises(ValueError):
+            inc.update(np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            inc.mean
+        with pytest.raises(ValueError):
+            inc.covariance()
+        with pytest.raises(ValueError):
+            inc.merge(IncrementalMoments(3))
+
+
+class TestStreamingTrainer:
+    def test_streaming_model_converges_to_batch(self):
+        fleet = FleetGenerator(FleetConfig(n_units=2, n_sensors=20, seed=51))
+        training = fleet.training_window(0, 400)
+        trainer = StreamingTrainer(20, refresh_every=3, min_samples=40)
+        for start in range(0, 400, 40):
+            trainer.ingest(0, training.values[start : start + 40])
+        streamed = trainer.model_for(0)
+        batch = FDRDetector().fit(training.values, unit_id=0)
+        assert streamed is not None
+        assert np.allclose(streamed.mean, batch.mean)
+        assert np.allclose(streamed.std, batch.std)
+        assert np.allclose(streamed.eigenvalues, batch.eigenvalues, atol=1e-8)
+
+    def test_refresh_cadence(self):
+        rng = np.random.default_rng(3)
+        trainer = StreamingTrainer(4, refresh_every=4, min_samples=10)
+        for _ in range(12):
+            trainer.ingest(7, rng.normal(size=(10, 4)))
+        # first refresh as soon as min_samples met, then every 4 batches
+        assert trainer.refreshes(7) == 3
+        assert trainer.samples_seen(7) == 120
+
+    def test_no_model_before_min_samples(self):
+        rng = np.random.default_rng(4)
+        trainer = StreamingTrainer(3, min_samples=100)
+        assert trainer.ingest(0, rng.normal(size=(10, 3))) is None
+        assert trainer.model_for(0) is None
+
+    def test_on_model_callback(self):
+        rng = np.random.default_rng(5)
+        seen = []
+        trainer = StreamingTrainer(3, min_samples=10, on_model=seen.append)
+        trainer.ingest(2, rng.normal(size=(20, 3)))
+        assert len(seen) == 1 and seen[0].unit_id == 2
+
+    def test_multiple_units_tracked(self):
+        rng = np.random.default_rng(6)
+        trainer = StreamingTrainer(3, min_samples=10)
+        trainer.ingest_pairs([(0, rng.normal(size=(15, 3))),
+                              (1, rng.normal(size=(15, 3)))])
+        assert trainer.units() == [0, 1]
+        assert trainer.model_for(0) is not None
+        assert trainer.model_for(1) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingTrainer(3, refresh_every=0)
+        with pytest.raises(ValueError):
+            StreamingTrainer(3, min_samples=1)
+
+
+class TestStreamingEndToEnd:
+    def test_dstream_driven_training_and_scoring(self, sc):
+        """The §VI vision: online training on a micro-batch stream."""
+        fleet = FleetGenerator(
+            FleetConfig(n_units=1, n_sensors=15, seed=61, fault_mix=(0.0, 0.0, 1.0))
+        )
+        training = fleet.training_window(0, 300)
+        micro_batches = [
+            [(0, training.values[i : i + 30])] for i in range(0, 300, 30)
+        ]
+        trainer = StreamingTrainer(15, refresh_every=2, min_samples=60)
+        ssc = StreamingContext(sc)
+        stream = ssc.queue_stream(micro_batches)
+        stream.foreach_rdd(lambda _t, rdd: trainer.ingest_pairs(rdd.collect()))
+        ssc.run()
+
+        model = trainer.model_for(0)
+        assert model is not None and model.n_train == 300
+
+        window = fleet.evaluation_window(0, 300)
+        evaluator = OnlineEvaluator(model, FDRDetectorConfig(q=0.05, window=32))
+        flags, _ = evaluator.evaluate(window.values)
+        assert (flags & window.truth).any()  # the injected shift is caught

@@ -1,0 +1,153 @@
+"""Tests for the sparklet trainer and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.fdr import FDRDetector, FDRDetectorConfig
+from repro.core.pipeline import ANOMALY_METRIC, UNIT_ALARM_METRIC, AnomalyPipeline
+from repro.core.training import OfflineTrainer, train_unit_distributed
+from repro.simdata import FleetConfig, FleetGenerator
+from repro.sparklet import BlockStore, SparkletContext
+from repro.tsdb.ingest import build_cluster
+from repro.tsdb.query import TsdbQuery
+
+
+@pytest.fixture()
+def sc():
+    with SparkletContext(parallelism=2, executor="serial") as ctx:
+        yield ctx
+
+
+@pytest.fixture()
+def generator():
+    return FleetGenerator(FleetConfig(n_units=6, n_sensors=15, seed=13))
+
+
+class TestDistributedTraining:
+    def test_matches_local_fit(self, sc):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=30.0, scale=3.0, size=(300, 10))
+        local = FDRDetector().fit(x, unit_id=1)
+        distributed = train_unit_distributed(sc, x, unit_id=1)
+        assert np.allclose(distributed.mean, local.mean)
+        assert np.allclose(distributed.std, local.std)
+        assert np.allclose(distributed.eigenvalues, local.eigenvalues)
+        assert distributed.n_components == local.n_components
+        # eigenvectors may differ by sign; compare projections
+        assert np.allclose(
+            np.abs(np.diag(distributed.components.T @ local.components)), 1.0
+        )
+
+    def test_scoring_agrees_with_local_model(self, sc):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(400, 8)) * 2.0 + 5.0
+        local = FDRDetector().fit(x)
+        distributed = train_unit_distributed(sc, x, unit_id=0)
+        test = rng.normal(size=(60, 8)) * 2.0 + 5.0
+        test[30:, 3] += 10.0
+        detector = FDRDetector()
+        a = detector.detect(local, test)
+        b = detector.detect(distributed, test)
+        assert np.array_equal(a.flags, b.flags)
+
+    def test_validation(self, sc):
+        with pytest.raises(ValueError):
+            train_unit_distributed(sc, np.zeros((1, 4)), 0)
+        bad = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            train_unit_distributed(sc, bad, 0)  # zero variance
+
+
+class TestOfflineTrainer:
+    def test_trains_and_persists_fleet(self, sc, generator, tmp_path):
+        store = BlockStore(tmp_path)
+        trainer = OfflineTrainer(sc, store)
+        result = trainer.train_fleet(generator, n_train=120)
+        assert result.n_units == 6
+        assert len(store) == 6
+        models = trainer.load_models(list(generator.units()))
+        assert set(models) == set(generator.units())
+        assert models[0].n_train == 120
+
+    def test_subset_training(self, sc, generator, tmp_path):
+        trainer = OfflineTrainer(sc, BlockStore(tmp_path))
+        result = trainer.train_fleet(generator, unit_ids=[2, 4], n_train=100)
+        assert result.unit_ids == [2, 4]
+        assert trainer.load_models([2, 4, 5]).keys() == {2, 4}
+
+    def test_threaded_matches_serial(self, generator, tmp_path):
+        with SparkletContext(parallelism=3, executor="threads") as tctx:
+            t_store = BlockStore(tmp_path / "t")
+            OfflineTrainer(tctx, t_store).train_fleet(generator, n_train=100)
+        with SparkletContext(parallelism=1, executor="serial") as sctx:
+            s_store = BlockStore(tmp_path / "s")
+            OfflineTrainer(sctx, s_store).train_fleet(generator, n_train=100)
+        for unit in generator.units():
+            t = t_store.get(f"unit-model-{unit:05d}")
+            s = s_store.get(f"unit-model-{unit:05d}")
+            assert np.allclose(t["mean"], s["mean"])
+            assert np.allclose(t["eigenvalues"], s["eigenvalues"])
+
+
+class TestPipeline:
+    def test_detection_only_pipeline(self, generator):
+        pipeline = AnomalyPipeline(generator, config=FDRDetectorConfig(window=16))
+        result = pipeline.run(n_train=150, n_eval=150, publish=False)
+        assert set(result.reports) == set(generator.units())
+        assert set(result.outcomes) == set(generator.units())
+        assert result.points_published == 0
+
+    def test_publishes_data_and_anomalies(self, generator):
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        pipeline = AnomalyPipeline(generator, cluster)
+        result = pipeline.run(unit_ids=[0, 1], n_train=150, n_eval=100)
+        assert result.points_published == 2 * 100 * 15
+        engine = cluster.query_engine()
+        data = engine.run(TsdbQuery("energy", 0, 10_000, group_by=("unit",)))
+        assert len(data) == 2
+        if result.anomalies_published:
+            anomalies = engine.run(TsdbQuery(ANOMALY_METRIC, 0, 10_000))
+            assert anomalies  # flagged scores are readable back
+
+    def test_faulted_units_detected(self, generator):
+        pipeline = AnomalyPipeline(generator, config=FDRDetectorConfig(window=32))
+        result = pipeline.run(n_train=300, n_eval=300, publish=False)
+        faulted = [
+            u for u in generator.units() if generator.fault_for(u, 300)
+        ]
+        detected = [
+            u for u in faulted if result.outcomes[u].true_positives > 0
+        ]
+        assert len(detected) >= len(faulted) * 0.6
+
+    def test_model_reuse_between_calls(self, generator):
+        pipeline = AnomalyPipeline(generator)
+        pipeline.train(unit_ids=[3], n_train=120)
+        report = pipeline.evaluate_unit(3, n_eval=80, publish=False)
+        assert report.unit_id == 3
+
+    def test_missing_model_raises(self, generator):
+        pipeline = AnomalyPipeline(generator)
+        with pytest.raises(KeyError):
+            pipeline.model_for(0)
+
+    def test_sparklet_backed_training(self, sc, generator, tmp_path):
+        pipeline = AnomalyPipeline(
+            generator, store=BlockStore(tmp_path), ctx=sc
+        )
+        result = pipeline.train(unit_ids=[0, 1], n_train=100)
+        assert pipeline.model_for(0).n_train == 100
+        assert pipeline.model_for(1).unit_id == 1
+
+    def test_unit_alarm_metric_published(self, generator):
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        # force heavy faults so T2 fires
+        gen = FleetGenerator(
+            FleetConfig(n_units=4, n_sensors=15, seed=3,
+                        fault_mix=(0.0, 0.0, 1.0), magnitude_range=(4.0, 5.0))
+        )
+        pipeline = AnomalyPipeline(gen, cluster)
+        pipeline.run(n_train=200, n_eval=200)
+        engine = cluster.query_engine()
+        alarms = engine.run(TsdbQuery(UNIT_ALARM_METRIC, 0, 10_000, group_by=("unit",)))
+        assert alarms

@@ -1,0 +1,89 @@
+"""TSD failure-path semantics: partial failures, retry exhaustion, accounting."""
+
+import pytest
+
+from repro.tsdb.ingest import build_cluster
+from repro.tsdb.tsd import DataPoint
+
+
+def points(n, t0=0):
+    return [
+        DataPoint.make("energy", t0 + i, float(i), {"unit": "u1", "sensor": f"s{i % 7}"})
+        for i in range(n)
+    ]
+
+
+class TestDurableAckSemantics:
+    def test_ack_failed_when_cluster_dead(self):
+        cluster = build_cluster(n_nodes=1, salt_buckets=2)
+        # Permanently kill the only RegionServer (no restart).
+        cluster.servers[0].crash_policy = None
+        cluster.servers[0].crash()
+        # shrink client retries so the test is fast
+        for tsd in cluster.tsds:
+            tsd.client.max_retries = 1
+            tsd.client.backoff_base = 0.001
+        acks = []
+        cluster.tsds[0].put_batch(points(6), acks.append, "client")
+        cluster.sim.run()
+        assert len(acks) == 1
+        assert not acks[0].ok
+        assert acks[0].failed == 6
+        assert acks[0].written == 0
+        assert cluster.tsds[0].points_failed == 6
+
+    def test_mixed_outcome_when_one_bucket_unservable(self):
+        """Cells for a dead region fail; cells for live regions commit."""
+        cluster = build_cluster(n_nodes=2, salt_buckets=2)
+        for tsd in cluster.tsds:
+            tsd.client.max_retries = 1
+            tsd.client.backoff_base = 0.001
+        # kill one server permanently: one of the two salt-bucket regions
+        # moves to the survivor immediately... so instead kill AFTER
+        # locating: crash the survivor too late.  Simpler deterministic
+        # setup: kill both servers after regions are split across them,
+        # then revive one and reassign only one region to it.
+        victim = cluster.servers[0]
+        victim.crash_policy = None
+        survivor = cluster.servers[1]
+        survivor.crash_policy = None
+        # victim's region will be reassigned to survivor on crash; kill
+        # survivor first so its region has nowhere to go, then victim.
+        survivor.crash()
+        acks = []
+        cluster.tsds[0].put_batch(points(8), acks.append, "client")
+        cluster.sim.run()
+        assert len(acks) == 1
+        ack = acks[0]
+        # whatever the split across buckets, accounting must add up
+        assert ack.written + ack.failed == 8
+        # at least one side is non-trivial: the victim's region still lives
+        if ack.written:
+            assert ack.ok is False or ack.failed == 0
+
+    def test_points_written_counter_matches_storage(self):
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        acks = []
+        cluster.tsds[0].put_batch(points(20), acks.append, "client")
+        cluster.tsds[1].put_batch(points(20, t0=100), acks.append, "client")
+        cluster.sim.run()
+        total_written = sum(t.points_written for t in cluster.tsds)
+        assert total_written == 40
+        assert len(cluster.master.direct_scan("tsdb")) == 40
+
+    def test_ack_counts_are_exact_under_overflow_retries(self):
+        """Queue-overflow retries must not double-count written points.
+
+        Two TSDs flush concurrently into a single server with a
+        zero-depth queue, forcing rejections + client retries.
+        """
+        cluster = build_cluster(n_nodes=1, salt_buckets=4, rs_queue_capacity=0,
+                                crash_on_overflow=False, retain_data=True)
+        acks = []
+        # points spread over 4 buckets -> concurrent small flushes race
+        # into the zero-depth RPC queue
+        cluster.tsds[0].put_batch(points(20), acks.append, "client")
+        cluster.sim.run()
+        assert sum(a.written for a in acks) == 20
+        assert len(cluster.master.direct_scan("tsdb")) == 20
+        assert cluster.metrics.counter("client.retries").get() >= 1

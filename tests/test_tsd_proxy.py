@@ -1,0 +1,159 @@
+"""Tests for TSD daemons and the buffering reverse proxy."""
+
+import pytest
+
+from repro.tsdb.ingest import ClusterConfig, TsdbCluster, build_cluster
+from repro.tsdb.proxy import DirectSubmitter, ReverseProxy
+from repro.tsdb.tsd import DataPoint
+
+
+def small_cluster(**overrides):
+    defaults = dict(n_nodes=2, salt_buckets=4, retain_data=True)
+    defaults.update(overrides)
+    return build_cluster(**defaults)
+
+
+def points(n, metric="energy", t0=0, unit="u1"):
+    return [
+        DataPoint.make(metric, t0 + i, float(i), {"unit": unit, "sensor": f"s{i % 5}"})
+        for i in range(n)
+    ]
+
+
+class TestTSDaemon:
+    def test_put_batch_acks_after_durable_write(self):
+        cluster = small_cluster()
+        tsd = cluster.tsds[0]
+        acks = []
+        tsd.put_batch(points(10), acks.append, "client")
+        cluster.sim.run()
+        assert len(acks) == 1
+        assert acks[0].ok and acks[0].written == 10 and acks[0].failed == 0
+        assert tsd.points_written == 10
+
+    def test_points_land_in_hbase(self):
+        cluster = small_cluster()
+        tsd = cluster.tsds[0]
+        tsd.put_batch(points(10), lambda a: None, "client")
+        cluster.sim.run()
+        cells = cluster.master.direct_scan("tsdb")
+        assert len(cells) == 10
+
+    def test_batch_coalescing_by_bucket(self):
+        cluster = small_cluster()
+        tsd = cluster.tsds[0]
+        # fewer points than rpc_batch_size: flush must come from linger timer
+        tsd.put_batch(points(5), lambda a: None, "client")
+        cluster.sim.run(until=0.01)  # past HTTP service, before the linger fires
+        assert tsd._buffers  # buffered, not yet flushed
+        cluster.sim.run()
+        assert not tsd._buffers
+        assert len(cluster.master.direct_scan("tsdb")) == 5
+
+    def test_full_buffer_flushes_immediately(self):
+        cluster = small_cluster(salt_buckets=1, rpc_batch_size=5)
+        tsd = cluster.tsds[0]
+        tsd.put_batch(points(5), lambda a: None, "client")
+        assert not tsd._buffers  # 5 points, one bucket, batch size 5: flushed
+
+    def test_queue_overflow_rejects_batch(self):
+        cluster = small_cluster(tsd_queue_capacity=0)
+        tsd = cluster.tsds[0]
+        acks = []
+        tsd.put_batch(points(3), acks.append, "client")  # in service
+        tsd.put_batch(points(3), acks.append, "client")  # queue full -> reject
+        cluster.sim.run()
+        rejected = [a for a in acks if not a.ok and a.written == 0]
+        assert len(rejected) == 1
+
+    def test_encode_point_roundtrip(self):
+        cluster = small_cluster()
+        tsd = cluster.tsds[0]
+        point = DataPoint.make("energy", 42, 3.5, {"unit": "u9", "sensor": "s3"})
+        cell = tsd.encode_point(point)
+        decoded = cluster.codec.decode(cell.row, cell.qualifier)
+        assert decoded.timestamp == 42
+        assert cluster.uids.decode_tags(decoded.tag_pairs) == {"unit": "u9", "sensor": "s3"}
+
+    def test_flush_all_drains(self):
+        cluster = small_cluster()
+        tsd = cluster.tsds[0]
+        tsd.put_batch(points(3), lambda a: None, "client")
+        tsd.flush_all()
+        assert not tsd._buffers
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            small_cluster(rpc_batch_size=0)
+
+
+class TestReverseProxy:
+    def test_round_robin_across_tsds(self):
+        cluster = small_cluster()
+        for i in range(4):
+            cluster.submit(points(2, t0=i * 10))
+        cluster.sim.run()
+        received = [tsd.points_received for tsd in cluster.tsds]
+        assert received == [4, 4]
+
+    def test_in_flight_window_buffers_excess(self):
+        cluster = small_cluster(proxy_max_in_flight=1)
+        proxy = cluster.ingress
+        assert isinstance(proxy, ReverseProxy)
+        for i in range(5):
+            proxy.submit(points(2, t0=i * 10))
+        assert proxy.in_flight == 1
+        assert proxy.buffered == 4
+        assert proxy.buffer_high_water >= 4
+        cluster.sim.run()
+        assert proxy.in_flight == 0 and proxy.buffered == 0
+
+    def test_acks_propagate_through_proxy(self):
+        cluster = small_cluster()
+        acks = []
+        cluster.submit(points(7), acks.append)
+        cluster.sim.run()
+        assert len(acks) == 1 and acks[0].ok and acks[0].written == 7
+
+    def test_tsd_rejection_retried_on_other_tsd(self):
+        cluster = small_cluster(tsd_queue_capacity=0, proxy_max_in_flight=4)
+        proxy = cluster.ingress
+        acks = []
+        for i in range(3):
+            proxy.submit(points(2, t0=i * 100), acks.append)
+        cluster.sim.run()
+        # all batches eventually commit despite rejections
+        assert sum(a.written for a in acks) == 6
+        assert proxy.retried >= 1
+
+    def test_validation(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            ReverseProxy(cluster.sim, cluster.network, [])
+        with pytest.raises(ValueError):
+            ReverseProxy(cluster.sim, cluster.network, cluster.tsds, max_in_flight=0)
+
+
+class TestDirectSubmitter:
+    def test_spray_round_robin(self):
+        cluster = small_cluster(use_proxy=False)
+        assert isinstance(cluster.ingress, DirectSubmitter)
+        for i in range(4):
+            cluster.submit(points(2, t0=i * 10))
+        cluster.sim.run()
+        assert [tsd.points_received for tsd in cluster.tsds] == [4, 4]
+
+    def test_single_tsd_mode(self):
+        cluster = small_cluster(use_proxy=False, direct_spray=False)
+        for i in range(4):
+            cluster.submit(points(2, t0=i * 10))
+        cluster.sim.run()
+        assert cluster.tsds[0].points_received == 8
+        assert cluster.tsds[1].points_received == 0
+
+    def test_no_backpressure_no_buffering(self):
+        cluster = small_cluster(use_proxy=False)
+        submitter = cluster.ingress
+        for i in range(10):
+            submitter.submit(points(2, t0=i))
+        assert submitter.dispatched == 10  # everything sent immediately

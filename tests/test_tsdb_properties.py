@@ -1,0 +1,133 @@
+"""Property tests across the TSDB storage/query stack.
+
+These drive randomised write workloads (duplicates, overwrites,
+multi-hour timestamps) through bulk loading, compaction and querying,
+asserting the end-to-end invariant: the store behaves like a
+``(series, timestamp) -> last-written-value`` map.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tsdb.ingest import build_cluster
+from repro.tsdb.query import TsdbQuery
+from repro.tsdb.tsd import DataPoint
+
+point_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2),      # unit
+    st.integers(min_value=0, max_value=2),      # sensor
+    st.integers(min_value=0, max_value=7500),   # timestamp (spans 3 hours)
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+def load(points, **cluster_kwargs):
+    defaults = dict(n_nodes=2, salt_buckets=4, retain_data=True)
+    defaults.update(cluster_kwargs)
+    cluster = build_cluster(**defaults)
+    cluster.direct_put(
+        DataPoint.make("energy", t, v, {"unit": f"u{u}", "sensor": f"s{s}"})
+        for u, s, t, v in points
+    )
+    return cluster
+
+
+def reference_map(points):
+    """Last write wins per (unit, sensor, timestamp)."""
+    ref = {}
+    for u, s, t, v in points:
+        ref[(u, s, t)] = v
+    return ref
+
+
+def query_all(cluster):
+    out = {}
+    engine = cluster.query_engine()
+    for series in engine.series_for(TsdbQuery("energy", 0, 10_000)):
+        tags = series.tag_dict
+        u = int(tags["unit"][1:])
+        s = int(tags["sensor"][1:])
+        for t, v in zip(series.timestamps, series.values):
+            out[(u, s, int(t))] = float(v)
+    return out
+
+
+class TestStoreSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(point_strategy, min_size=1, max_size=60))
+    def test_store_is_last_write_wins_map(self, points):
+        cluster = load(points)
+        assert query_all(cluster) == {
+            k: v for k, v in reference_map(points).items()
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(point_strategy, min_size=1, max_size=60))
+    def test_compaction_preserves_query_results(self, points):
+        cluster = load(points)
+        before = query_all(cluster)
+        cluster.compactor().run()
+        assert query_all(cluster) == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(point_strategy, min_size=1, max_size=40))
+    def test_salted_and_unsalted_agree(self, points):
+        salted = query_all(load(points, salt_buckets=6))
+        unsalted = query_all(load(points, salt_buckets=0))
+        assert salted == unsalted
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(point_strategy, min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=7000),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_time_range_queries_are_slices(self, points, start, span):
+        cluster = load(points)
+        end = start + span
+        engine = cluster.query_engine()
+        sliced = {}
+        for series in engine.series_for(TsdbQuery("energy", start, end)):
+            tags = series.tag_dict
+            u, s = int(tags["unit"][1:]), int(tags["sensor"][1:])
+            for t, v in zip(series.timestamps, series.values):
+                sliced[(u, s, int(t))] = float(v)
+        full = query_all(cluster)
+        expected = {k: v for k, v in full.items() if start <= k[2] < end}
+        assert sliced == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),       # nodes
+        st.integers(min_value=2, max_value=12),      # series count
+        st.integers(min_value=20, max_value=120),    # samples offered
+    )
+    def test_simulated_ingestion_conserves_samples(self, nodes, n_series, n_samples):
+        """Below capacity, offered == committed == stored (no loss, no dupes)."""
+        from repro.simdata.workload import ingest_stream
+        from repro.tsdb.ingest import IngestionDriver
+
+        cluster = build_cluster(n_nodes=nodes, retain_data=True)
+        batch = 10
+        stream = ingest_stream(n_units=1, n_sensors=n_series, batch_size=batch)
+        n_batches = -(-n_samples // batch)
+        finite = iter([next(stream) for _ in range(n_batches)])
+        driver = IngestionDriver(cluster, finite, offered_rate=2_000, batch_size=batch)
+        report = driver.run(duration=n_batches * batch / 2_000 + 0.5, drain=5.0)
+        assert report.committed_samples == report.offered_samples
+        stored = {
+            (c.row, c.qualifier) for c in cluster.master.direct_scan("tsdb")
+        }
+        assert len(stored) == report.committed_samples
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(point_strategy, min_size=1, max_size=40))
+    def test_rpc_path_matches_offline(self, points):
+        cluster = load(points)
+        query = TsdbQuery("energy", 0, 10_000, group_by=("unit", "sensor"))
+        offline = cluster.query_engine().run(query)
+        online = cluster.async_query_executor().execute_sync(query).series
+        assert len(offline) == len(online)
+        for a, b in zip(offline, online):
+            assert a.tags == b.tags
+            assert list(a.timestamps) == list(b.timestamps)
+            assert list(a.values) == list(b.values)

@@ -1,0 +1,79 @@
+"""Tests for paper-figure rendering (Figure 2 panels)."""
+
+import pytest
+
+from repro.bench import PAPER_FIG2_LEFT
+from repro.cluster.metrics import TimeSeriesRecorder
+from repro.tsdb.ingest import IngestionReport
+from repro.viz.figures import render_stability_figure, render_throughput_figure
+
+
+def make_report(n_nodes, throughput, timeline_points=None):
+    timeline = TimeSeriesRecorder("committed")
+    for t, v in timeline_points or [(0.0, 0.0), (1.0, throughput)]:
+        timeline.record(t, v)
+    return IngestionReport(
+        n_nodes=n_nodes,
+        duration=1.0,
+        offered_samples=int(throughput * 2),
+        committed_samples=int(throughput),
+        failed_samples=0,
+        throughput=throughput,
+        per_server_writes={},
+        write_skew=1.0,
+        crashes=0,
+        proxy_buffer_high_water=0,
+        client_retries=0,
+        timeline=timeline,
+    )
+
+
+class TestThroughputFigure:
+    def test_renders_measured_points(self):
+        reports = [make_report(n, n * 13_000.0) for n in (10, 20, 30)]
+        svg = render_throughput_figure(reports)
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 3
+        assert "130k" in svg and "390k" in svg
+        assert "# of nodes" in svg
+
+    def test_paper_overlay(self):
+        reports = [make_report(n, n * 13_000.0) for n in (10, 30)]
+        svg = render_throughput_figure(reports, PAPER_FIG2_LEFT)
+        # measured (2 filled) + paper (5 hollow) markers
+        assert svg.count("<circle") == 7
+        assert "paper" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_throughput_figure([])
+
+
+class TestStabilityFigure:
+    def test_one_line_per_config(self):
+        reports = [
+            make_report(
+                n, n * 1000.0,
+                timeline_points=[(0.0, 0.0), (0.5, n * 500.0), (1.0, n * 1000.0)],
+            )
+            for n in (10, 20)
+        ]
+        svg = render_stability_figure(reports, step=0.25)
+        assert "10 nodes" in svg and "20 nodes" in svg
+        assert svg.count("<path") >= 2
+
+    def test_empty_timeline_rejected(self):
+        report = make_report(5, 0.0, timeline_points=[(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            render_stability_figure([report])
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            render_stability_figure([])
+
+    def test_real_run_renders(self):
+        from repro.bench import run_ingestion
+
+        report = run_ingestion(2, duration=0.5, warmup=0.0, offered_rate=50_000.0)
+        svg = render_stability_figure([report], step=0.1)
+        assert "2 nodes" in svg

@@ -1,0 +1,138 @@
+"""Additional workload-stream tests: determinism, ordering, scale."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.simdata import FleetConfig, FleetGenerator
+from repro.simdata.workload import (
+    METRIC,
+    fleet_stream,
+    ingest_stream,
+    sensor_tag,
+    unit_points,
+    unit_tag,
+)
+
+
+class TestTags:
+    def test_unit_tag_fixed_width(self):
+        assert unit_tag(0) == "unit000"
+        assert unit_tag(99) == "unit099"
+        assert unit_tag(100) == "unit100"
+
+    def test_sensor_tag_fixed_width(self):
+        assert sensor_tag(0) == "s0000"
+        assert sensor_tag(999) == "s0999"
+
+    def test_tags_sort_numerically(self):
+        tags = [unit_tag(i) for i in range(120)]
+        assert tags == sorted(tags)
+
+
+class TestFleetStream:
+    def gen(self):
+        return FleetGenerator(FleetConfig(n_units=3, n_sensors=4, seed=9))
+
+    def test_deterministic(self):
+        a = [p for b in fleet_stream(self.gen(), n_samples=10, batch_size=7) for p in b]
+        b = [p for b in fleet_stream(self.gen(), n_samples=10, batch_size=7) for p in b]
+        assert a == b
+
+    def test_covers_all_units_and_sensors(self):
+        points = [
+            p for b in fleet_stream(self.gen(), n_samples=5, batch_size=100) for p in b
+        ]
+        units = {dict(p.tags)["unit"] for p in points}
+        sensors = {dict(p.tags)["sensor"] for p in points}
+        assert units == {"unit000", "unit001", "unit002"}
+        assert sensors == {sensor_tag(i) for i in range(4)}
+
+    def test_subset_of_units(self):
+        points = [
+            p
+            for b in fleet_stream(self.gen(), unit_ids=[1], n_samples=5, batch_size=100)
+            for p in b
+        ]
+        assert {dict(p.tags)["unit"] for p in points} == {"unit001"}
+
+    def test_training_vs_evaluation_values_differ(self):
+        train = [
+            p for b in fleet_stream(self.gen(), n_samples=5, batch_size=100,
+                                    evaluation=False)
+            for p in b
+        ]
+        eval_ = [
+            p for b in fleet_stream(self.gen(), n_samples=5, batch_size=100,
+                                    evaluation=True)
+            for p in b
+        ]
+        assert [p.value for p in train] != [p.value for p in eval_]
+
+    def test_values_match_generator(self):
+        g = self.gen()
+        points = [
+            p for b in fleet_stream(g, unit_ids=[0], n_samples=6, batch_size=100)
+            for p in b
+        ]
+        window = g.evaluation_window(0, 6)
+        for p in points:
+            tags = dict(p.tags)
+            sensor = int(tags["sensor"][1:])
+            row = p.timestamp - window.start_time
+            assert p.value == pytest.approx(window.values[row, sensor])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(fleet_stream(self.gen(), batch_size=0))
+
+
+class TestIngestStream:
+    def test_series_round_robin_full_coverage(self):
+        stream = ingest_stream(n_units=2, n_sensors=3, batch_size=6)
+        first_round = next(stream)
+        series = {(dict(p.tags)["unit"], dict(p.tags)["sensor"]) for p in first_round}
+        assert len(series) == 6  # every (unit, sensor) exactly once per second
+
+    def test_timestamps_advance_once_per_full_cycle(self):
+        stream = ingest_stream(n_units=2, n_sensors=2, batch_size=2)
+        batches = [next(stream) for _ in range(4)]
+        stamps = [p.timestamp for b in batches for p in b]
+        assert stamps == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_metric_constant(self):
+        batch = next(ingest_stream(n_units=1, n_sensors=1, batch_size=3))
+        assert all(p.metric == METRIC for p in batch)
+
+    def test_noise_stream_deterministic_by_seed(self):
+        a = next(ingest_stream(batch_size=10, values="noise", seed=4))
+        b = next(ingest_stream(batch_size=10, values="noise", seed=4))
+        c = next(ingest_stream(batch_size=10, values="noise", seed=5))
+        assert [p.value for p in a] == [p.value for p in b]
+        assert [p.value for p in a] != [p.value for p in c]
+
+    def test_start_time_offset(self):
+        batch = next(ingest_stream(n_units=1, n_sensors=100, batch_size=5,
+                                   start_time=7200))
+        assert all(p.timestamp == 7200 for p in batch)
+
+    def test_endless(self):
+        stream = ingest_stream(n_units=1, n_sensors=2, batch_size=50)
+        chunk = list(itertools.islice(stream, 100))
+        assert len(chunk) == 100
+
+
+class TestUnitPointsOrdering:
+    def test_time_major_order(self):
+        g = FleetGenerator(FleetConfig(n_units=1, n_sensors=3, seed=2))
+        window = g.evaluation_window(0, 4)
+        points = list(unit_points(window))
+        stamps = [p.timestamp for p in points]
+        assert stamps == sorted(stamps)
+        # within a timestamp, sensors ascend
+        per_t = {}
+        for p in points:
+            per_t.setdefault(p.timestamp, []).append(dict(p.tags)["sensor"])
+        for sensors in per_t.values():
+            assert sensors == sorted(sensors)
