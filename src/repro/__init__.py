@@ -41,12 +41,16 @@ from .core import (
     EwmaChart,
     FDRDetector,
     FDRDetectorConfig,
+    FleetEvaluationEngine,
     IncrementalMoments,
     OfflineTrainer,
     OnlineEvaluator,
+    PipelineConfig,
     PipelineResult,
     ShewhartChart,
     StreamingTrainer,
+    TrainingResult,
+    UnitEvaluation,
     UnitModel,
     aggregate_outcomes,
     benjamini_hochberg,
@@ -58,10 +62,13 @@ from .simdata import FaultKind, FaultSpec, FleetConfig, FleetGenerator
 from .sparklet import BlockStore, RowMatrix, SparkletContext, StreamingContext
 from .tsdb import (
     AsyncQueryExecutor,
+    BatchPublisher,
     ClusterConfig,
     DataPoint,
     IngestionDriver,
+    PublishReport,
     QueryEngine,
+    ReverseProxy,
     TsdbCluster,
     TsdbQuery,
     build_cluster,
@@ -74,6 +81,7 @@ __all__ = [
     "AnomalyPipeline",
     "AnomalyReport",
     "AsyncQueryExecutor",
+    "BatchPublisher",
     "BlockStore",
     "ClusterConfig",
     "CusumChart",
@@ -87,20 +95,26 @@ __all__ = [
     "FaultSpec",
     "FleetAnalytics",
     "FleetConfig",
+    "FleetEvaluationEngine",
     "FleetGenerator",
     "IncrementalMoments",
     "IngestionDriver",
     "OfflineTrainer",
     "OnlineEvaluator",
+    "PipelineConfig",
     "PipelineResult",
+    "PublishReport",
     "QueryEngine",
+    "ReverseProxy",
     "RowMatrix",
     "ShewhartChart",
     "SparkletContext",
     "StreamingContext",
     "StreamingTrainer",
+    "TrainingResult",
     "TsdbCluster",
     "TsdbQuery",
+    "UnitEvaluation",
     "UnitModel",
     "__version__",
     "aggregate_outcomes",

@@ -33,13 +33,16 @@ from .multiple_testing import (
     bonferroni,
     family_wise_error_probability,
     holm,
+    step_up_sparse,
     uncorrected,
 )
+from .engine import FleetEvaluationEngine, UnitEvaluation
 from .online import OnlineEvaluator, StreamStats
 from .pipeline import (
     ANOMALY_METRIC,
     UNIT_ALARM_METRIC,
     AnomalyPipeline,
+    PipelineConfig,
     PipelineResult,
 )
 from .spc import ControlChart, CusumChart, EwmaChart, MewmaChart, ShewhartChart
@@ -57,17 +60,20 @@ __all__ = [
     "EwmaChart",
     "FDRDetector",
     "FDRDetectorConfig",
+    "FleetEvaluationEngine",
     "IncrementalMoments",
     "MewmaChart",
     "OfflineTrainer",
     "OnlineEvaluator",
     "PROCEDURES",
+    "PipelineConfig",
     "PipelineResult",
     "ShewhartChart",
     "StreamStats",
     "StreamingTrainer",
     "TrainingResult",
     "UNIT_ALARM_METRIC",
+    "UnitEvaluation",
     "UnitModel",
     "aggregate_outcomes",
     "apply_procedure",
@@ -83,6 +89,7 @@ __all__ = [
     "model_key",
     "one_sided_pvalues",
     "save_model",
+    "step_up_sparse",
     "t2_pvalues",
     "t2_statistic",
     "train_unit_distributed",

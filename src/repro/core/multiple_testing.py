@@ -34,6 +34,7 @@ __all__ = [
     "holm",
     "benjamini_hochberg",
     "benjamini_yekutieli",
+    "step_up_sparse",
     "adaptive_benjamini_hochberg",
     "apply_procedure",
     "PROCEDURES",
@@ -46,7 +47,9 @@ def _check(pvalues: np.ndarray, level: float) -> np.ndarray:
     p = np.asarray(pvalues, dtype=np.float64)
     if p.size == 0:
         return p
-    if np.any((p < 0) | (p > 1) | ~np.isfinite(p)):
+    lo, hi = p.min(), p.max()
+    # NaN fails both comparisons, so non-finite values are caught too.
+    if not (lo >= 0.0 and hi <= 1.0):
         raise ValueError("p-values must lie in [0, 1]")
     if not 0.0 < level < 1.0:
         raise ValueError("significance level must be in (0, 1)")
@@ -127,6 +130,56 @@ def _step_up(pvalues: np.ndarray, q: float, dependence_correction: bool) -> np.n
     ranks = np.empty_like(order)
     np.put_along_axis(ranks, order, np.broadcast_to(np.arange(m), p.shape), axis=-1)
     return ranks < k[..., None]
+
+
+def step_up_sparse(
+    pvalues: np.ndarray, q: float = 0.05, dependence_correction: bool = False
+) -> np.ndarray:
+    """BH/BY step-up evaluated only on the p-values that could reject.
+
+    Exactly equivalent to :func:`benjamini_hochberg` /
+    :func:`benjamini_yekutieli` (same rejection sets, same float
+    comparisons against the same threshold ladder) but built for the
+    online scoring hot path: every rejected p-value must satisfy
+    ``p ≤ q·k/m ≤ q_eff``, so only entries at or below the top rung
+    participate.  Those are bucketed into the smallest rank whose
+    threshold they meet (one ``searchsorted`` against the ladder), the
+    per-family pass counts come from a histogram instead of a sort, and
+    the step-up index ``k`` is read off the counts' running sum —
+    truncated at the largest per-family candidate count, since ``k``
+    can never exceed it.  No ``O(T·m·log m)`` argsort, no dense
+    rank scatter.
+    """
+    p = _check(pvalues, q)
+    m = p.shape[-1]
+    if m == 0:
+        return np.zeros_like(p, dtype=bool)
+    effective_q = q
+    if dependence_correction:
+        effective_q = q / np.sum(1.0 / np.arange(1, m + 1))
+    flat = p.reshape(-1, m)
+    n_fam = flat.shape[0]
+    thresholds = effective_q * np.arange(1, m + 1) / m
+    flags = np.zeros(flat.shape, dtype=bool)
+    rows, cols = np.nonzero(flat <= thresholds[-1])
+    if rows.size:
+        vals = flat[rows, cols]
+        # k per family is bounded by its candidate count; the histogram
+        # only needs that many rungs.
+        top = int(np.bincount(rows, minlength=n_fam).max())
+        # Smallest 1-based rank whose threshold this p-value meets.
+        bucket = np.searchsorted(thresholds, vals, side="left") + 1
+        keep = bucket <= top
+        counts = np.bincount(
+            rows[keep] * (top + 1) + bucket[keep], minlength=n_fam * (top + 1)
+        ).reshape(n_fam, top + 1)
+        passed = np.cumsum(counts, axis=1)[:, 1:] >= np.arange(1, top + 1)
+        k = np.where(passed.any(axis=1), top - passed[:, ::-1].argmax(axis=1), 0)
+        # Everything at or below the k-th rung's threshold is rejected
+        # (p_(k) ≤ q·k/m, and no non-rejected value can sit between).
+        family_cut = np.where(k > 0, thresholds[np.maximum(k, 1) - 1], -1.0)
+        flags[rows, cols] = vals <= family_cut[rows]
+    return flags.reshape(p.shape)
 
 
 def adaptive_benjamini_hochberg(pvalues: np.ndarray, q: float = 0.05) -> np.ndarray:

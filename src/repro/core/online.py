@@ -16,17 +16,31 @@ this path in real wall-clock samples/second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
-from scipy import stats
+from scipy import special, stats
 
 from .fdr import AnomalyReport, FDRDetectorConfig
 from .model import UnitModel
-from .multiple_testing import apply_procedure
-from .hypothesis import two_sided_pvalues
+from .multiple_testing import apply_procedure, step_up_sparse
 
 __all__ = ["OnlineEvaluator", "StreamStats"]
+
+
+def _two_sided_pvalues_fast(z: np.ndarray) -> np.ndarray:
+    """``2·Φ(−|z|)`` via ``scipy.special.ndtr`` directly.
+
+    Bit-identical to :func:`~repro.core.hypothesis.two_sided_pvalues`
+    (``stats.norm.sf`` reduces to ``ndtr(-x)``) but skips the
+    distribution-infrastructure argument plumbing and reuses one buffer
+    for the whole chain, so the hot path allocates a single array.
+    """
+    buf = np.abs(z)
+    np.negative(buf, out=buf)
+    special.ndtr(buf, out=buf)
+    buf *= 2.0
+    return buf
 
 
 @dataclass
@@ -81,28 +95,79 @@ class OnlineEvaluator:
         z_win = self._windowed(z_inst)
 
         flags = np.zeros(z_win.shape, dtype=bool)
-        # Cheap prefilter, exact BH only where it can possibly fire.
+        # Cheap prefilter, exact testing only where it can possibly fire.
         candidate_rows = np.flatnonzero(
             np.max(np.abs(z_win), axis=1) >= self._z_prefilter
         )
         if candidate_rows.size:
-            pvals = two_sided_pvalues(z_win[candidate_rows])
-            flags[candidate_rows] = apply_procedure(
-                self.config.procedure, pvals, self.config.q
-            )
+            pvals = _two_sided_pvalues_fast(z_win[candidate_rows])
+            flags[candidate_rows] = self._flag_pvalues(pvals)
 
-        if self._whitening is not None and self.model.n_components > 0:
-            whitened = z_inst @ self._whitening
-            t2 = np.einsum("ij,ij->i", whitened, whitened)
-            unit_alarm = t2 >= self._t2_threshold
-        else:
-            unit_alarm = np.zeros(x.shape[0], dtype=bool)
+        t2, unit_alarm = self._t2_channel(z_inst)
 
         self.stats.samples += x.size
         self.stats.batches += 1
         self.stats.discoveries += int(flags.sum())
         self.stats.unit_alarms += int(unit_alarm.sum())
         return flags, unit_alarm
+
+    def report(self, values: np.ndarray) -> AnomalyReport:
+        """Score one full window into an :class:`AnomalyReport`.
+
+        One-shot semantics: cross-batch window state is reset first, so
+        the result matches :meth:`FDRDetector.detect` on the same model
+        and window — flags, p-values, z-scores, T² and unit alarm — but
+        through the pre-bound fast path (p-values in one vectorised pass,
+        the BH step-up only on rows that survive the exact prefilter).
+        The fleet evaluation engine calls this per unit.
+        """
+        self._carry = None
+        x = np.asarray(values, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.model.n_sensors:
+            raise ValueError(f"values must be (T, {self.model.n_sensors})")
+        z_inst = x - self._mean
+        z_inst *= self._inv_std
+        z_win = self._windowed(z_inst)
+        pvalues = _two_sided_pvalues_fast(z_win)
+        flags = self._flag_pvalues(pvalues)
+        t2, unit_alarm = self._t2_channel(z_inst)
+
+        self.stats.samples += x.size
+        self.stats.batches += 1
+        self.stats.discoveries += int(flags.sum())
+        self.stats.unit_alarms += int(unit_alarm.sum())
+        return AnomalyReport(
+            unit_id=self.model.unit_id,
+            flags=flags,
+            pvalues=pvalues,
+            zscores=z_win,
+            unit_alarm=unit_alarm,
+            t2=t2,
+            config=self.config,
+        )
+
+    def _flag_pvalues(self, pvalues: np.ndarray) -> np.ndarray:
+        """Per-row multiple-testing flags via the fastest exact route.
+
+        BH/BY go through :func:`step_up_sparse` (rejection sets are
+        identical to the dense reference step-up); other procedures use
+        the dense dispatch.
+        """
+        cfg = self.config
+        if cfg.procedure == "bh":
+            return step_up_sparse(pvalues, cfg.q, dependence_correction=False)
+        if cfg.procedure == "by":
+            return step_up_sparse(pvalues, cfg.q, dependence_correction=True)
+        return apply_procedure(cfg.procedure, pvalues, cfg.q)
+
+    def _t2_channel(self, z_inst: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Whitened T² statistic and threshold alarm for one batch."""
+        if self._whitening is not None and self.model.n_components > 0:
+            whitened = z_inst @ self._whitening
+            t2 = np.einsum("ij,ij->i", whitened, whitened)
+            return t2, t2 >= self._t2_threshold
+        n = z_inst.shape[0]
+        return np.zeros(n), np.zeros(n, dtype=bool)
 
     def evaluate_stream(
         self, batches: Iterator[np.ndarray]
@@ -123,9 +188,10 @@ class OnlineEvaluator:
         csum = np.cumsum(stacked, axis=0)
         t_idx = np.arange(stacked.shape[0])
         counts = np.minimum(t_idx + 1, w).astype(np.float64)
-        lagged = np.zeros_like(csum)
-        lagged[w:] = csum[:-w]
-        win = (csum - lagged) / np.sqrt(counts)[:, None]
+        win = np.empty_like(csum)
+        win[:w] = csum[:w]
+        np.subtract(csum[w:], csum[:-w], out=win[w:])
+        win /= np.sqrt(counts)[:, None]
         # Keep the last (w-1) standardised rows for the next batch.
         tail = stacked[-(w - 1):] if stacked.shape[0] >= w - 1 else stacked
         self._carry = tail.copy()

@@ -7,6 +7,20 @@ by the integrated visualization tool"), the trainer runs as a sparklet
 batch job, and the visualization reads everything back through the
 query engine.
 
+Evaluation is driven by the
+:class:`~repro.core.engine.FleetEvaluationEngine`: per-unit scoring
+fans out across sparklet executor threads through cached
+:class:`~repro.core.online.OnlineEvaluator` fast paths, and results
+are published through the cluster's real ingress
+(:meth:`~repro.tsdb.ingest.TsdbCluster.submit` → the buffering reverse
+proxy) with bounded in-flight batches and durable-ack tracking — the
+§III backpressure discipline, applied to the analysis write-back path
+too.  A :class:`PipelineConfig` consolidates the run knobs, and every
+run is instrumented with a
+:class:`~repro.cluster.metrics.MetricsRegistry` (per-stage timings,
+scored samples/s, publish acks and retries) surfaced on
+:class:`PipelineResult`.
+
 Anomalies are stored under metric ``anomaly`` with the same
 ``unit``/``sensor`` tags as the data; the stored value is the
 standardised test score at the flagged instant, so drill-down views
@@ -16,40 +30,143 @@ can show severity.  Unit-level T² alarms are stored under
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cluster.metrics import MetricsRegistry
 from ..simdata.generator import FleetGenerator, UnitData
-from ..simdata.workload import METRIC, sensor_tag, unit_points, unit_tag
+from ..simdata.workload import sensor_tag, unit_points, unit_tag
 from ..sparklet.context import SparkletContext
 from ..sparklet.storage import BlockStore
 from ..tsdb.ingest import TsdbCluster
+from ..tsdb.publish import BatchPublisher, PublishReport
 from ..tsdb.tsd import DataPoint
+from .engine import FleetEvaluationEngine
 from .fdr import AnomalyReport, FDRDetector, FDRDetectorConfig
-from .metrics import DetectionOutcome, evaluate_flags
+from .metrics import DetectionOutcome
 from .model import UnitModel
-from .online import OnlineEvaluator
 from .training import OfflineTrainer, TrainingResult
 
-__all__ = ["ANOMALY_METRIC", "UNIT_ALARM_METRIC", "PipelineResult", "AnomalyPipeline"]
+__all__ = [
+    "ANOMALY_METRIC",
+    "UNIT_ALARM_METRIC",
+    "AnomalyPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+]
 
 ANOMALY_METRIC = "anomaly"
 UNIT_ALARM_METRIC = "anomaly.unit"
 
 
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Run-shape knobs for :meth:`AnomalyPipeline.run`.
+
+    Consolidates what used to be keyword sprawl on ``run()`` /
+    ``evaluate_unit()`` into one (immutable) object that can be reused
+    across runs.  All fields are also accepted as keyword-only
+    overrides on ``run()`` itself.
+
+    Parameters
+    ----------
+    n_train / n_eval:
+        Training and evaluation window lengths in samples.
+    publish:
+        Whether to write data + anomalies back to the attached cluster.
+    parallelism:
+        Worker count for fleet scoring.  ``None`` follows the attached
+        sparklet context (or the CPU count); ``1`` forces the inline
+        serial path.
+    publish_batch_size:
+        Points per put batch submitted to the cluster ingress.
+    use_proxy_path:
+        ``True`` (default) publishes through ``TsdbCluster.submit()``
+        — the buffering reverse proxy with durable acks.  ``False``
+        falls back to ``direct_put`` bulk loads (no simulated RPC).
+    max_in_flight_batches:
+        Driver-side backpressure window for the proxy path.
+    wave_size:
+        Units scored per fan-out wave (bounds peak window memory);
+        ``None`` derives it from the parallelism.
+    """
+
+    n_train: int = 600
+    n_eval: int = 600
+    publish: bool = True
+    parallelism: Optional[int] = None
+    publish_batch_size: int = 500
+    use_proxy_path: bool = True
+    max_in_flight_batches: int = 32
+    wave_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_train < 2:
+            raise ValueError("n_train must be >= 2")
+        if self.n_eval < 1:
+            raise ValueError("n_eval must be >= 1")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.publish_batch_size < 1:
+            raise ValueError("publish_batch_size must be >= 1")
+        if self.max_in_flight_batches < 1:
+            raise ValueError("max_in_flight_batches must be >= 1")
+        if self.wave_size is not None and self.wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+
+    def with_overrides(self, **overrides) -> "PipelineConfig":
+        """A copy with every non-``None`` override applied."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+
 @dataclass
 class PipelineResult:
-    """Everything one pipeline run produced, per unit."""
+    """Everything one pipeline run produced, per unit.
+
+    Beyond the per-unit reports/outcomes, a run carries its own
+    instrumentation: ``stage_seconds`` (wall-clock per train / evaluate
+    / publish stage), ``samples_per_second`` (sensor samples scored per
+    evaluation-stage second), the publish-side
+    :class:`~repro.tsdb.publish.PublishReport` for the data and anomaly
+    channels, and the backing ``metrics`` registry with the raw
+    counters (``publish.data.acks``, ``publish.anomaly.retries``, …).
+    """
 
     reports: Dict[int, AnomalyReport] = field(default_factory=dict)
     outcomes: Dict[int, DetectionOutcome] = field(default_factory=dict)
     points_published: int = 0
     anomalies_published: int = 0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    samples_per_second: float = 0.0
+    data_publish: Optional[PublishReport] = None
+    anomaly_publish: Optional[PublishReport] = None
 
     def total_discoveries(self) -> int:
         return sum(r.n_discoveries for r in self.reports.values())
+
+    @property
+    def publish_acks(self) -> int:
+        """Durably acknowledged put batches across both channels."""
+        return sum(
+            rep.batches_acked
+            for rep in (self.data_publish, self.anomaly_publish)
+            if rep is not None
+        )
+
+    @property
+    def publish_retries(self) -> int:
+        """Proxy re-dispatches of bounced batches across both channels."""
+        return sum(
+            rep.retries
+            for rep in (self.data_publish, self.anomaly_publish)
+            if rep is not None
+        )
 
 
 class AnomalyPipeline:
@@ -66,6 +183,12 @@ class AnomalyPipeline:
         Block store for model artifacts.
     config:
         Detector configuration.
+    ctx:
+        Sparklet context shared by the batch trainer and the fleet
+        evaluation engine's fan-out.
+    pipeline_config:
+        Default :class:`PipelineConfig` for runs (overridable per
+        call).
     """
 
     def __init__(
@@ -75,32 +198,57 @@ class AnomalyPipeline:
         store: Optional[BlockStore] = None,
         config: Optional[FDRDetectorConfig] = None,
         ctx: Optional[SparkletContext] = None,
+        pipeline_config: Optional[PipelineConfig] = None,
     ) -> None:
         self.generator = generator
         self.cluster = cluster
         self.config = config if config is not None else FDRDetectorConfig()
         self.ctx = ctx
         self.store = store
+        self.pipeline_config = (
+            pipeline_config if pipeline_config is not None else PipelineConfig()
+        )
         self._models: Dict[int, UnitModel] = {}
+        self.engine = FleetEvaluationEngine(
+            generator, self._models, self.config, ctx=ctx
+        )
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
     def train(
-        self, unit_ids: Optional[Sequence[int]] = None, n_train: int = 600
-    ) -> TrainingResult | List[int]:
-        """Train models for the units (sparklet job when ctx+store given)."""
+        self, unit_ids: Optional[Sequence[int]] = None, *, n_train: int = 600
+    ) -> TrainingResult:
+        """Train models for the units (sparklet job when ctx+store given).
+
+        Training is idempotent per ``(unit, n_train)``: the generator's
+        training windows are deterministic, so refitting an
+        already-trained unit would recompute the identical model — such
+        units are skipped.  Calling with a different ``n_train`` refits.
+
+        Both branches return a :class:`TrainingResult` (the local path
+        synthesizes one with no persisted keys).  Iterating the result
+        yields the trained unit ids — the deprecation shim for callers
+        of the old ``List[int]`` local-path return.
+        """
         units = list(unit_ids) if unit_ids is not None else list(self.generator.units())
+        stale = [
+            u
+            for u in units
+            if u not in self._models or self._models[u].n_train != n_train
+        ]
         if self.ctx is not None and self.store is not None:
-            trainer = OfflineTrainer(self.ctx, self.store, self.config)
-            result = trainer.train_fleet(self.generator, units, n_train)
-            self._models.update(trainer.load_models(units))
-            return result
+            keys: list = []
+            if stale:
+                trainer = OfflineTrainer(self.ctx, self.store, self.config)
+                keys = trainer.train_fleet(self.generator, stale, n_train).keys
+                self._models.update(trainer.load_models(stale))
+            return TrainingResult(unit_ids=units, keys=keys, n_train=n_train)
         detector = FDRDetector(self.config)
-        for unit_id in units:
+        for unit_id in stale:
             window = self.generator.training_window(unit_id, n_train)
             self._models[unit_id] = detector.fit(window.values, unit_id=unit_id)
-        return units
+        return TrainingResult(unit_ids=units, keys=[], n_train=n_train)
 
     def model_for(self, unit_id: int) -> UnitModel:
         try:
@@ -112,50 +260,133 @@ class AnomalyPipeline:
     # evaluation + publishing
     # ------------------------------------------------------------------
     def evaluate_unit(
-        self, unit_id: int, n_eval: int = 600, publish: bool = True
+        self,
+        unit_id: int,
+        *,
+        n_eval: int = 600,
+        publish: bool = True,
+        use_proxy_path: Optional[bool] = None,
     ) -> AnomalyReport:
         """Score one unit's evaluation window; optionally publish results."""
-        model = self.model_for(unit_id)
-        window = self.generator.evaluation_window(unit_id, n_eval)
-        detector = FDRDetector(self.config)
-        report = detector.detect(model, window.values)
+        evaluation = self.engine.evaluate_unit(unit_id, n_eval)
         if publish and self.cluster is not None:
-            self._publish(window, report)
-        return report
+            cfg = self.pipeline_config.with_overrides(use_proxy_path=use_proxy_path)
+            data_pub, anomaly_pub = self._publishers(cfg, MetricsRegistry())
+            data_pub.publish(unit_points(evaluation.window))
+            anomaly_pub.publish(self._anomaly_points(evaluation.window, evaluation.report))
+            data_pub.flush()
+            anomaly_pub.flush()
+        return evaluation.report
 
     def run(
         self,
         unit_ids: Optional[Sequence[int]] = None,
-        n_train: int = 600,
-        n_eval: int = 600,
-        publish: bool = True,
+        *,
+        config: Optional[PipelineConfig] = None,
+        n_train: Optional[int] = None,
+        n_eval: Optional[int] = None,
+        publish: Optional[bool] = None,
+        parallelism: Optional[int] = None,
+        publish_batch_size: Optional[int] = None,
+        use_proxy_path: Optional[bool] = None,
+        wave_size: Optional[int] = None,
     ) -> PipelineResult:
-        """Full loop over the fleet; returns reports and scored outcomes."""
+        """Full loop over the fleet; returns reports, outcomes, metrics.
+
+        ``config`` (or the pipeline's default :class:`PipelineConfig`)
+        supplies the run shape; the remaining keyword-only arguments
+        override individual fields for this call.  Scoring fans out
+        across the evaluation engine in waves; publishing streams each
+        wave through the backpressured proxy path as the next wave is
+        scored.
+        """
+        cfg = (config if config is not None else self.pipeline_config).with_overrides(
+            n_train=n_train,
+            n_eval=n_eval,
+            publish=publish,
+            parallelism=parallelism,
+            publish_batch_size=publish_batch_size,
+            use_proxy_path=use_proxy_path,
+            wave_size=wave_size,
+        )
         units = list(unit_ids) if unit_ids is not None else list(self.generator.units())
-        self.train(units, n_train)
-        result = PipelineResult()
-        for unit_id in units:
-            window = self.generator.evaluation_window(unit_id, n_eval)
-            detector = FDRDetector(self.config)
-            report = detector.detect(self.model_for(unit_id), window.values)
-            result.reports[unit_id] = report
-            result.outcomes[unit_id] = evaluate_flags(report.flags, window.truth, unit_id)
-            if publish and self.cluster is not None:
-                data_n, anom_n = self._publish(window, report)
-                result.points_published += data_n
-                result.anomalies_published += anom_n
+        registry = MetricsRegistry()
+        result = PipelineResult(metrics=registry)
+
+        t0 = time.perf_counter()
+        self.train(units, n_train=cfg.n_train)
+        train_seconds = time.perf_counter() - t0
+
+        publishing = cfg.publish and self.cluster is not None
+        data_pub = anomaly_pub = None
+        if publishing:
+            data_pub, anomaly_pub = self._publishers(cfg, registry)
+
+        evaluate_seconds = 0.0
+        publish_seconds = 0.0
+        samples_scored = 0
+        waves = self.engine.evaluate_fleet(
+            units, cfg.n_eval, parallelism=cfg.parallelism, wave_size=cfg.wave_size
+        )
+        while True:
+            t0 = time.perf_counter()
+            wave = next(waves, None)
+            evaluate_seconds += time.perf_counter() - t0
+            if wave is None:
+                break
+            t0 = time.perf_counter()
+            for evaluation in wave:
+                result.reports[evaluation.unit_id] = evaluation.report
+                result.outcomes[evaluation.unit_id] = evaluation.outcome
+                samples_scored += evaluation.window.values.size
+                if publishing:
+                    data_pub.publish(unit_points(evaluation.window))
+                    anomaly_pub.publish(
+                        self._anomaly_points(evaluation.window, evaluation.report)
+                    )
+            publish_seconds += time.perf_counter() - t0
+
+        if publishing:
+            t0 = time.perf_counter()
+            result.data_publish = data_pub.flush()
+            result.anomaly_publish = anomaly_pub.flush()
+            publish_seconds += time.perf_counter() - t0
+            result.points_published = result.data_publish.points_written
+            result.anomalies_published = result.anomaly_publish.points_written
+
+        result.stage_seconds = {
+            "train": train_seconds,
+            "evaluate": evaluate_seconds,
+            "publish": publish_seconds,
+        }
+        if evaluate_seconds > 0:
+            result.samples_per_second = samples_scored / evaluate_seconds
+        registry.gauge("pipeline.train_seconds").set(train_seconds)
+        registry.gauge("pipeline.evaluate_seconds").set(evaluate_seconds)
+        registry.gauge("pipeline.publish_seconds").set(publish_seconds)
+        registry.gauge("pipeline.samples_per_second").set(result.samples_per_second)
+        registry.counter("pipeline.units").inc(len(units))
+        registry.counter("pipeline.samples_scored").inc(samples_scored)
         return result
 
     # ------------------------------------------------------------------
-    def _publish(self, window: UnitData, report: AnomalyReport) -> tuple[int, int]:
-        """Write the window's sensor data and its flagged anomalies."""
+    def _publishers(
+        self, cfg: PipelineConfig, registry: MetricsRegistry
+    ) -> Tuple[BatchPublisher, BatchPublisher]:
+        """Separate data / anomaly publishers so ack counts stay attributable."""
         assert self.cluster is not None
-        data_written = self.cluster.direct_put(unit_points(window))
-        anomaly_points = list(self._anomaly_points(window, report))
-        anom_written = self.cluster.direct_put(anomaly_points)
-        return data_written, anom_written
+        make = lambda channel: BatchPublisher(  # noqa: E731
+            self.cluster,
+            batch_size=cfg.publish_batch_size,
+            max_in_flight_batches=cfg.max_in_flight_batches,
+            use_proxy_path=cfg.use_proxy_path,
+            metrics=registry,
+            channel=channel,
+        )
+        return make("publish.data"), make("publish.anomaly")
 
     def _anomaly_points(self, window: UnitData, report: AnomalyReport):
+        """Flagged per-sensor scores and unit alarms as TSDB points."""
         utag = ("unit", unit_tag(window.unit_id))
         rows, cols = np.nonzero(report.flags)
         for row, sensor in zip(rows.tolist(), cols.tolist()):

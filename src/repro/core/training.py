@@ -35,7 +35,14 @@ __all__ = ["TrainingResult", "OfflineTrainer", "train_unit_distributed"]
 
 @dataclass
 class TrainingResult:
-    """Summary of one training job."""
+    """Summary of one training job.
+
+    ``keys`` lists the block-store keys of persisted model artifacts;
+    the pipeline's local (store-less) training path synthesizes a
+    result with no keys.  Iterating yields the trained unit ids — a
+    deprecation shim for callers of the old list-of-units return of
+    ``AnomalyPipeline.train``.
+    """
 
     unit_ids: List[int]
     keys: List[str]
@@ -43,6 +50,12 @@ class TrainingResult:
 
     @property
     def n_units(self) -> int:
+        return len(self.unit_ids)
+
+    def __iter__(self):
+        return iter(self.unit_ids)
+
+    def __len__(self) -> int:
         return len(self.unit_ids)
 
 

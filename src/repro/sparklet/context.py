@@ -100,6 +100,26 @@ class SparkletContext:
             start, end = 0, start
         return self.parallelize(range(start, end, step), num_slices)
 
+    def map_tasks(
+        self,
+        func: Callable[[T], Any],
+        items: Sequence[T],
+        num_slices: Optional[int] = None,
+    ) -> List[Any]:
+        """Run ``func`` over ``items`` on the executor pool, in order.
+
+        Convenience for embarrassingly-parallel fan-out (one logical
+        task per item) without the parallelize/map/collect dance; the
+        fleet evaluation engine scores units through this.  Results are
+        returned in ``items`` order regardless of executor interleaving.
+        """
+        self._check_active()
+        data = list(items)
+        if not data:
+            return []
+        n = num_slices if num_slices is not None else min(len(data), self.parallelism * 4)
+        return self.parallelize(data, n).map(func).collect()
+
     def broadcast(self, value: T) -> Broadcast[T]:
         return Broadcast(value)
 

@@ -28,6 +28,7 @@ from .ingest import (
     build_cluster,
 )
 from .proxy import DirectSubmitter, ReverseProxy
+from .publish import BatchPublisher, PublishReport
 from .query import QueryEngine, TsdbQuery, group_and_aggregate
 from .readpath import AsyncQueryExecutor, AsyncQueryResult
 from .rowkey import ROW_SPAN_SECONDS, DecodedKey, RowKeyCodec
@@ -38,6 +39,7 @@ __all__ = [
     "AGGREGATORS",
     "AsyncQueryExecutor",
     "AsyncQueryResult",
+    "BatchPublisher",
     "COMPACTED_MARKER",
     "ClusterConfig",
     "DATA_TABLE",
@@ -47,6 +49,7 @@ __all__ = [
     "IngestionDriver",
     "IngestionReport",
     "LineProtocolError",
+    "PublishReport",
     "PutAck",
     "QueryEngine",
     "ROW_SPAN_SECONDS",

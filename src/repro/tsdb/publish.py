@@ -1,0 +1,193 @@
+"""Backpressured batch publishing into the cluster's real ingress.
+
+The paper's §III lesson is that *all* writes must flow through the
+buffering reverse proxy: fire-and-forget submission overflows the
+RegionServer RPC queues and crashes them.  The analysis pipeline used
+to sidestep that path with :meth:`TsdbCluster.direct_put`;
+:class:`BatchPublisher` routes results through
+:meth:`TsdbCluster.submit` instead — the same ingress the ingestion
+benchmarks exercise — while keeping the *driver* side honest too:
+
+* **Batching** — points accumulate into fixed-size put batches (the
+  TSD ``/api/put`` granularity) instead of per-point RPCs.
+* **Bounded in-flight** — at most ``max_in_flight_batches`` batches may
+  be awaiting durable acknowledgement; past that the publisher steps
+  the discrete-event simulator until acks free the window, so the
+  producing pipeline cannot run ahead of the storage tier.
+* **Ack/retry tracking** — durable acks are counted point-by-point and
+  proxy retries are attributed to this publisher's lifetime, all
+  mirrored into a :class:`~repro.cluster.metrics.MetricsRegistry`.
+
+A ``use_proxy_path=False`` publisher falls back to the bulk
+:meth:`~TsdbCluster.direct_put` load (identical stored cells, no
+simulated RPC), which storage-less studies and tests use to compare
+the two paths land the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..cluster.metrics import MetricsRegistry
+from .ingest import TsdbCluster
+from .tsd import DataPoint, PutAck
+
+__all__ = ["BatchPublisher", "PublishReport"]
+
+
+@dataclass
+class PublishReport:
+    """Accounting for one publisher's lifetime (returned by ``flush``).
+
+    ``mode`` is ``"proxy"`` (through :meth:`TsdbCluster.submit`) or
+    ``"direct"`` (bulk-loaded via :meth:`TsdbCluster.direct_put`).
+    ``points_written`` counts durably acknowledged cells;
+    ``retries`` counts proxy re-dispatches of bounced batches during
+    this publisher's lifetime; ``pending_unresolved`` is non-zero only
+    if the simulator drained without resolving every ack (a cluster
+    wedged hard enough that retries stopped being scheduled).
+    """
+
+    mode: str
+    points_submitted: int = 0
+    batches_submitted: int = 0
+    batches_acked: int = 0
+    points_written: int = 0
+    points_failed: int = 0
+    retries: int = 0
+    max_pending: int = 0
+    pending_unresolved: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every submitted batch resolved to an ack."""
+        return self.pending_unresolved == 0
+
+
+class BatchPublisher:
+    """Batching, backpressured writer of analysis results to the TSDB.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated deployment to publish into.
+    batch_size:
+        Points per put batch submitted to the ingress.
+    max_in_flight_batches:
+        Driver-side backpressure window: publishing blocks (stepping
+        the simulator) while this many batches await acknowledgement.
+    use_proxy_path:
+        ``True`` routes through ``cluster.submit()`` (the reverse
+        proxy / direct submitter, with simulated RPC and durable acks);
+        ``False`` falls back to ``cluster.direct_put()`` bulk loads.
+    metrics:
+        Registry receiving ``<channel>.batches`` / ``.acks`` /
+        ``.points_written`` / ``.points_failed`` / ``.retries``
+        counters and the ``<channel>.max_pending`` gauge.
+    channel:
+        Metric-name prefix, so independent publishers (e.g. sensor
+        data vs anomaly flags) stay separately accounted.
+    """
+
+    def __init__(
+        self,
+        cluster: TsdbCluster,
+        *,
+        batch_size: int = 500,
+        max_in_flight_batches: int = 32,
+        use_proxy_path: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        channel: str = "publish",
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_in_flight_batches < 1:
+            raise ValueError("max_in_flight_batches must be >= 1")
+        self.cluster = cluster
+        self.batch_size = batch_size
+        self.max_in_flight_batches = max_in_flight_batches
+        self.use_proxy_path = use_proxy_path
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.channel = channel
+        self.report = PublishReport(mode="proxy" if use_proxy_path else "direct")
+        self._batch: List[DataPoint] = []
+        self._pending = 0
+        self._closed = False
+        self._retries_at_start = cluster.metrics.counter("proxy.retries").get()
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def publish(self, points: Iterable[DataPoint]) -> None:
+        """Buffer points, submitting every full batch (with backpressure)."""
+        if self._closed:
+            raise RuntimeError("publisher already flushed")
+        batch = self._batch
+        for point in points:
+            batch.append(point)
+            if len(batch) >= self.batch_size:
+                self._submit(batch)
+                batch = self._batch = []
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches submitted but not yet durably acknowledged."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+    def flush(self) -> PublishReport:
+        """Submit the tail batch, await every ack, and return the report."""
+        if self._closed:
+            return self.report
+        if self._batch:
+            self._submit(self._batch)
+            self._batch = []
+        sim = self.cluster.sim
+        while self._pending and sim.step():
+            pass
+        self._closed = True
+        rep = self.report
+        rep.pending_unresolved = self._pending
+        rep.retries = int(
+            self.cluster.metrics.counter("proxy.retries").get() - self._retries_at_start
+        )
+        self.metrics.counter(f"{self.channel}.retries").inc(rep.retries)
+        return rep
+
+    # ------------------------------------------------------------------
+    def _submit(self, batch: List[DataPoint]) -> None:
+        rep = self.report
+        rep.batches_submitted += 1
+        rep.points_submitted += len(batch)
+        self.metrics.counter(f"{self.channel}.batches").inc()
+        if not self.use_proxy_path:
+            written = self.cluster.direct_put(batch)
+            rep.batches_acked += 1
+            rep.points_written += written
+            rep.points_failed += len(batch) - written
+            self.metrics.counter(f"{self.channel}.acks").inc()
+            self.metrics.counter(f"{self.channel}.points_written").inc(written)
+            return
+        self._pending += 1
+        rep.max_pending = max(rep.max_pending, self._pending)
+        self.metrics.gauge(f"{self.channel}.max_pending").set(self._pending)
+        self.cluster.submit(batch, self._on_ack)
+        # Backpressure: step the cluster simulation until the in-flight
+        # window has room again, so the producer cannot outrun storage.
+        sim = self.cluster.sim
+        while self._pending >= self.max_in_flight_batches and sim.step():
+            pass
+
+    def _on_ack(self, ack: PutAck) -> None:
+        self._pending -= 1
+        rep = self.report
+        rep.batches_acked += 1
+        rep.points_written += ack.written
+        rep.points_failed += ack.failed
+        self.metrics.counter(f"{self.channel}.acks").inc()
+        self.metrics.counter(f"{self.channel}.points_written").inc(ack.written)
+        if ack.failed:
+            self.metrics.counter(f"{self.channel}.points_failed").inc(ack.failed)

@@ -1,0 +1,38 @@
+"""Lint gate: run ruff alongside the tier-1 suite when it is available.
+
+The ruff configuration lives in ``pyproject.toml`` (``[tool.ruff]``).
+Environments without the ruff binary (it is not a runtime dependency)
+skip rather than fail, so the tier-1 suite stays runnable everywhere.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _ruff_command():
+    if shutil.which("ruff"):
+        return ["ruff"]
+    try:
+        import ruff  # noqa: F401
+
+        return [sys.executable, "-m", "ruff"]
+    except ImportError:
+        return None
+
+
+@pytest.mark.skipif(_ruff_command() is None, reason="ruff is not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        _ruff_command() + ["check", "."],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}\n{proc.stderr}"

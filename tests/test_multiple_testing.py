@@ -13,6 +13,7 @@ from repro.core.multiple_testing import (
     bonferroni,
     family_wise_error_probability,
     holm,
+    step_up_sparse,
     uncorrected,
 )
 
@@ -287,3 +288,53 @@ class TestProcedureProperties:
         rejected = benjamini_hochberg(p, q)
         if rejected.any() and not rejected.all():
             assert p[rejected].max() <= p[~rejected].min()
+
+
+class TestSparseStepUp:
+    """step_up_sparse must reject the exact same set as the dense step-up."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+        st.floats(0.01, 0.3),
+        st.booleans(),
+    )
+    def test_matches_dense_1d(self, pvals, q, dep):
+        p = np.array(pvals)
+        dense = benjamini_yekutieli(p, q) if dep else benjamini_hochberg(p, q)
+        assert np.array_equal(step_up_sparse(p, q, dependence_correction=dep), dense)
+
+    def test_matches_dense_2d_families(self):
+        rng = np.random.default_rng(7)
+        for i in range(60):
+            T, m = int(rng.integers(1, 40)), int(rng.integers(1, 80))
+            p = rng.random((T, m))
+            if i % 3 == 0:
+                p[p < 0.4] *= 0.02  # fault-heavy: many tiny p-values
+            if i % 5 == 0:
+                p = np.round(p, 2)  # ties, including at thresholds
+            if i % 11 == 0:
+                p[:] = 1.0  # nothing rejectable
+            for dep in (False, True):
+                q = float(rng.choice([0.01, 0.05, 0.1, 0.3]))
+                dense = (
+                    benjamini_yekutieli(p, q) if dep else benjamini_hochberg(p, q)
+                )
+                got = step_up_sparse(p, q, dependence_correction=dep)
+                assert np.array_equal(got, dense), (i, dep, q)
+
+    def test_3d_shape_preserved(self):
+        rng = np.random.default_rng(11)
+        p = rng.random((4, 5, 12))
+        assert np.array_equal(step_up_sparse(p, 0.1), benjamini_hochberg(p, 0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_up_sparse(np.array([0.1, 1.5]), 0.05)
+        with pytest.raises(ValueError):
+            step_up_sparse(np.array([0.1, np.nan]), 0.05)
+        with pytest.raises(ValueError):
+            step_up_sparse(np.array([0.1]), 1.5)
+
+    def test_empty_family(self):
+        assert step_up_sparse(np.zeros((3, 0)), 0.05).shape == (3, 0)

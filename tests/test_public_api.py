@@ -54,6 +54,68 @@ class TestExports:
 
         assert repro.__version__ == "1.0.0"
 
+    def test_top_level_surface_snapshot(self):
+        """The exact top-level API; update deliberately when it changes."""
+        import repro
+
+        assert list(repro.__all__) == [
+            "AnomalyPipeline",
+            "AnomalyReport",
+            "AsyncQueryExecutor",
+            "BatchPublisher",
+            "BlockStore",
+            "ClusterConfig",
+            "CusumChart",
+            "Dashboard",
+            "DashboardConfig",
+            "DataPoint",
+            "EwmaChart",
+            "FDRDetector",
+            "FDRDetectorConfig",
+            "FaultKind",
+            "FaultSpec",
+            "FleetAnalytics",
+            "FleetConfig",
+            "FleetEvaluationEngine",
+            "FleetGenerator",
+            "IncrementalMoments",
+            "IngestionDriver",
+            "OfflineTrainer",
+            "OnlineEvaluator",
+            "PipelineConfig",
+            "PipelineResult",
+            "PublishReport",
+            "QueryEngine",
+            "ReverseProxy",
+            "RowMatrix",
+            "ShewhartChart",
+            "SparkletContext",
+            "StreamingContext",
+            "StreamingTrainer",
+            "TrainingResult",
+            "TsdbCluster",
+            "TsdbQuery",
+            "UnitEvaluation",
+            "UnitModel",
+            "__version__",
+            "aggregate_outcomes",
+            "benjamini_hochberg",
+            "bonferroni",
+            "build_cluster",
+            "evaluate_flags",
+            "family_wise_error_probability",
+        ]
+
+    def test_new_engine_exports(self):
+        from repro import (  # noqa: F401
+            BatchPublisher,
+            FleetEvaluationEngine,
+            PipelineConfig,
+            PublishReport,
+            UnitEvaluation,
+        )
+        from repro.core import step_up_sparse  # noqa: F401
+
     def test_key_entry_points_importable_from_top_level(self):
         from repro import (  # noqa: F401
             AnomalyPipeline,
