@@ -1,0 +1,56 @@
+"""Static analysis and runtime race auditing for the reproduction.
+
+Three layers keep the concurrent hot path trustworthy as the codebase
+grows (the paper's low-false-alarm claim is only as good as the
+invariants the code maintains):
+
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` —
+  **repro-lint**, an AST linter with rules tuned to this repository
+  (seeded RNG, no float equality in detector math, frozen-dataclass
+  discipline, no broad excepts, no mutable defaults, ``guarded-by``
+  lock annotations).  CLI: ``python -m repro.analysis <paths>``.
+* :mod:`repro.analysis.raceaudit` — a runtime lock-order recorder and
+  ``assert_holds`` guard, zero-cost when disabled, enabled in tests to
+  fail on deadlock-shaped lock cycles and unguarded state access.
+* The mypy configuration in ``pyproject.toml`` — strict typing on
+  ``core/``, ``sparklet/`` and ``tsdb/publish.py``, permissive
+  elsewhere, enforced by ``tests/test_static_analysis.py``.
+"""
+
+from .lint import (
+    Finding,
+    LintReport,
+    Rule,
+    SourceFile,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from .raceaudit import (
+    AuditedLock,
+    GuardedStateError,
+    LockOrderAuditor,
+    LockOrderViolation,
+    assert_holds,
+    audited_lock,
+    auditing,
+)
+
+__all__ = [
+    "AuditedLock",
+    "Finding",
+    "GuardedStateError",
+    "LintReport",
+    "LockOrderAuditor",
+    "LockOrderViolation",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "assert_holds",
+    "audited_lock",
+    "auditing",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,56 @@
+"""CLI entry point: ``python -m repro.analysis [paths ...]``.
+
+Exit codes: 0 — clean (no unsuppressed findings); 1 — findings; 2 —
+usage error.  ``--json`` emits the machine-readable report the CI gate
+parses; ``--list-rules`` prints the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .lint import all_rules, lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: repository-specific AST correctness linter",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks", "examples"],
+        help="files or directories to lint (default: src tests benchmarks examples)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings in the human report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:18s} {rule.summary}")
+        return 0
+
+    report = lint_paths(args.paths)
+    if report.files_checked == 0:
+        print(f"repro-lint: no python files under {args.paths!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render(show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

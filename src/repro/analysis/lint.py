@@ -1,0 +1,259 @@
+"""Repro-lint: the AST-walking lint framework.
+
+A deliberately small, dependency-free linter tuned to *this*
+repository's correctness invariants (seeded RNG, exact detector math,
+frozen configs, lock discipline) rather than general style.  The
+pieces:
+
+* :class:`SourceFile` — one parsed module plus the comment-derived
+  metadata rules need: per-line ``# repro-lint: ignore[rule, ...]``
+  suppressions and ``# guarded-by: <lock>`` annotations.
+* :class:`Rule` — base class; concrete rules live in
+  :mod:`repro.analysis.rules` and self-register via :func:`register`.
+* :func:`lint_source` / :func:`lint_paths` — run every registered rule
+  over a string or a tree of files and collect :class:`Finding`\\ s.
+* :class:`LintReport` — findings plus human/JSON renderings; the CLI
+  (``python -m repro.analysis``) exits non-zero on any unsuppressed
+  finding, which is what the tier-1 gate enforces.
+
+Suppression is per-line and per-rule: ``# repro-lint: ignore[RULE]``
+waives ``RULE`` on that line only, ``# repro-lint: ignore`` waives all
+rules on the line.  Suppressions are kept in the report (marked
+``suppressed``) so waivers stay visible, and the convention is to
+follow the marker with ``--`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Sentinel stored in a line's suppression set by a bare ``ignore``.
+ALL_RULES = "*"
+
+#: Pseudo-rule id attached to files that fail to parse.
+PARSE_ERROR = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tail = "  [suppressed]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}{tail}"
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class SourceFile:
+    """A parsed module plus comment metadata (suppressions, guards)."""
+
+    def __init__(self, path: str | Path, text: str) -> None:
+        self.path = Path(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        #: line -> set of suppressed rule ids (or {ALL_RULES})
+        self.suppressions: Dict[int, Set[str]] = {}
+        #: line -> lock attribute name from a ``# guarded-by:`` comment
+        self.guards: Dict[int, str] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            sup = SUPPRESS_RE.search(line)
+            if sup:
+                names = sup.group(1)
+                self.suppressions[lineno] = (
+                    {name.strip() for name in names.split(",") if name.strip()}
+                    if names
+                    else {ALL_RULES}
+                )
+            guard = GUARD_RE.search(line)
+            if guard:
+                self.guards[lineno] = guard.group(1)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        names = self.suppressions.get(line)
+        if not names:
+            return False
+        return ALL_RULES in names or rule_id in names
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set ``id`` (the suppression token) and ``summary``, may
+    narrow ``applies_to``, and implement ``check`` yielding findings
+    (the runner fills in suppression state afterwards).
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Convenience for subclasses.
+    def finding(self, source: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=str(source.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    # Importing the rules module populates the registry on first use.
+    from . import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# runners
+# ----------------------------------------------------------------------
+def _run_rules(source: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(source):
+            continue
+        for found in rule.check(source):
+            if source.is_suppressed(rule.id, found.line):
+                found = dataclasses.replace(found, suppressed=True)
+            findings.append(found)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    text: str,
+    path: str | Path = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module given as a string (the test-friendly entry)."""
+    try:
+        source = SourceFile(path, text)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    return _run_rules(source, rules if rules is not None else all_rules())
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "unsuppressed": len(self.unsuppressed),
+            "suppressed": len(self.suppressed),
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def render(self, *, show_suppressed: bool = False) -> str:
+        lines = [f.format() for f in self.unsuppressed]
+        if show_suppressed:
+            lines.extend(f.format() for f in self.suppressed)
+        lines.append(
+            f"repro-lint: {self.files_checked} files, "
+            f"{len(self.unsuppressed)} findings, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Optional[Sequence[Rule]] = None
+) -> LintReport:
+    """Lint a tree of files; the CLI and the tier-1 gate call this."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        findings.extend(lint_source(path.read_text(), path, active))
+    return LintReport(findings=findings, files_checked=count)

@@ -1,0 +1,483 @@
+"""The repro-lint rule catalogue.
+
+Six rules tuned to this repository's correctness invariants:
+
+==================  ====================================================
+``unseeded-rng``    RNG created or used without an explicit seed
+                    (reproducibility: every window must be
+                    deterministic per ``(seed, unit)``)
+``float-equality``  ``==`` / ``!=`` against float literals in the
+                    ``core/`` detector math (bit-identity is asserted
+                    with tolerances or exact integer flags, never
+                    float equality)
+``frozen-setattr``  ``object.__setattr__`` outside ``__post_init__``
+                    (the only sanctioned frozen-dataclass escape hatch)
+``broad-except``    bare ``except:``, ``except BaseException:``, or an
+                    ``except Exception:`` that silently swallows
+``mutable-default`` mutable default argument values
+``guarded-by``      access to a ``# guarded-by: <lock>`` attribute
+                    outside a ``with self.<lock>:`` block (or a
+                    function asserting ``assert_holds(self.<lock>)``)
+==================  ====================================================
+
+Each rule is registered with :func:`repro.analysis.lint.register` and
+suppressable per line via ``# repro-lint: ignore[<id>]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from .lint import Finding, Rule, SourceFile, register
+
+__all__ = [
+    "BroadExceptRule",
+    "FloatEqualityRule",
+    "FrozenSetattrRule",
+    "GuardedByRule",
+    "MutableDefaultRule",
+    "UnseededRngRule",
+]
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+@register
+class UnseededRngRule(Rule):
+    """Unseeded or global-state RNG use.
+
+    Flags, resolving ``import`` aliases:
+
+    * ``numpy.random.default_rng()`` with no seed argument;
+    * any call into numpy's *legacy global* RNG
+      (``np.random.normal`` / ``.rand`` / ``.seed`` / ...);
+    * stdlib ``random`` module-level functions (global RNG) and
+      ``random.Random()`` constructed without a seed.
+    """
+
+    id = "unseeded-rng"
+    summary = "RNG created or used without an explicit seed"
+
+    # numpy.random attributes that are *not* the legacy global RNG
+    _NUMPY_SAFE = {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+    _STDLIB_GLOBAL = {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        numpy_names: Set[str] = set()  # "numpy" / "np"
+        numpy_random_names: Set[str] = set()  # "numpy.random" aliases
+        stdlib_random_names: Set[str] = set()  # "random" aliases
+        direct_default_rng: Set[str] = set()  # from numpy.random import default_rng
+        direct_global_fns: Set[str] = set()  # from random import random, ...
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy":
+                        numpy_names.add(local)
+                    elif alias.name == "numpy.random":
+                        numpy_random_names.add(alias.asname or "numpy.random")
+                        if alias.asname is None:
+                            numpy_names.add("numpy")
+                    elif alias.name == "random":
+                        stdlib_random_names.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name == "default_rng":
+                            direct_default_rng.add(alias.asname or alias.name)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            numpy_random_names.add(alias.asname or "random")
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name in self._STDLIB_GLOBAL:
+                            direct_global_fns.add(alias.asname or alias.name)
+
+        numpy_random_prefixes = {f"{name}.random" for name in numpy_names}
+        numpy_random_prefixes.update(numpy_random_names)
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, attr = dotted.rpartition(".")
+            unseeded = not node.args and not node.keywords
+            if head in numpy_random_prefixes:
+                if attr == "default_rng":
+                    if unseeded:
+                        yield self.finding(
+                            source,
+                            node,
+                            "default_rng() without a seed: runs are not "
+                            "reproducible; pass an explicit seed",
+                        )
+                elif attr not in self._NUMPY_SAFE:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"legacy global numpy RNG call {dotted}(): use a "
+                        "seeded np.random.default_rng(...) Generator",
+                    )
+            elif dotted in direct_default_rng and unseeded:
+                yield self.finding(
+                    source,
+                    node,
+                    "default_rng() without a seed: runs are not "
+                    "reproducible; pass an explicit seed",
+                )
+            elif head in stdlib_random_names:
+                if attr == "Random":
+                    if unseeded:
+                        yield self.finding(
+                            source,
+                            node,
+                            "random.Random() without a seed: pass an "
+                            "explicit seed for reproducibility",
+                        )
+                elif attr in self._STDLIB_GLOBAL:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"stdlib global RNG call {dotted}(): use a seeded "
+                        "random.Random(...) (or numpy Generator) instance",
+                    )
+            elif dotted in direct_global_fns:
+                yield self.finding(
+                    source,
+                    node,
+                    f"stdlib global RNG call {dotted}(): use a seeded "
+                    "random.Random(...) (or numpy Generator) instance",
+                )
+
+# ----------------------------------------------------------------------
+@register
+class FloatEqualityRule(Rule):
+    """Float-literal ``==`` / ``!=`` in the detector math (``core/``).
+
+    The detector's parity contracts are either *bit-identical* integer
+    flags or tolerance comparisons (``np.isclose``); a float-literal
+    equality in ``core/`` is almost always a drifting threshold test.
+    Only applies to files with a ``core`` path component so tests and
+    benchmarks can compare exact sentinel values freely.
+    """
+
+    id = "float-equality"
+    summary = "float literal compared with == / != in core/ detector math"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return "core" in source.path.parts
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (lhs, rhs):
+                    if isinstance(side, ast.Constant) and isinstance(side.value, float):
+                        yield self.finding(
+                            source,
+                            node,
+                            f"float literal {side.value!r} compared with "
+                            "==/!=: use math.isclose/np.isclose or an "
+                            "explicit tolerance",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
+@register
+class FrozenSetattrRule(Rule):
+    """``object.__setattr__`` outside ``__post_init__``.
+
+    Frozen dataclasses are this codebase's immutability contract
+    (configs, series, row keys); ``object.__setattr__`` is sanctioned
+    only inside ``__post_init__`` for normalising fields at
+    construction time.  Anywhere else it silently breaks the contract.
+    """
+
+    id = "frozen-setattr"
+    summary = "object.__setattr__ outside __post_init__"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        yield from self._scan(source.tree.body, source, context=None)
+
+    def _scan(
+        self, body: List[ast.stmt], source: SourceFile, context: Optional[str]
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._scan(stmt.body, source, context=stmt.name)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._scan(stmt.body, source, context=context)
+                continue
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "__setattr__"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "object"
+                    and context != "__post_init__"
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        "object.__setattr__ outside __post_init__ breaks "
+                        "the frozen-dataclass immutability contract",
+                    )
+
+
+# ----------------------------------------------------------------------
+@register
+class BroadExceptRule(Rule):
+    """Bare / over-broad exception handlers.
+
+    Flags ``except:``, ``except BaseException:`` and an
+    ``except Exception:`` whose body only ``pass``es (a silent
+    swallow).  Cleanup-and-reraise handlers are legitimate — suppress
+    with a justification when the breadth is deliberate.
+    """
+
+    id = "broad-except"
+    summary = "bare or over-broad exception handler"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source, node, "bare except: catches SystemExit and "
+                    "KeyboardInterrupt; name the exceptions"
+                )
+            elif isinstance(node.type, ast.Name) and node.type.id == "BaseException":
+                yield self.finding(
+                    source, node, "except BaseException: catches interpreter "
+                    "shutdown signals; name the exceptions"
+                )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id == "Exception"
+                and all(isinstance(stmt, ast.Pass) for stmt in node.body)
+            ):
+                yield self.finding(
+                    source, node, "except Exception: pass silently swallows "
+                    "every error; handle or narrow it"
+                )
+
+
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default argument values (shared across calls)."""
+
+    id = "mutable-default"
+    summary = "mutable default argument value"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        source,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and create inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+
+# ----------------------------------------------------------------------
+@register
+class GuardedByRule(Rule):
+    """Guarded attribute accessed outside its lock.
+
+    The convention: annotate the owning assignment (usually in
+    ``__init__``) with ``# guarded-by: <lock_attr>``.  Every other
+    method of that class must then touch ``self.<attr>`` only
+
+    * lexically inside ``with self.<lock_attr>:``, or
+    * in a function that calls ``assert_holds(self.<lock_attr>)``
+      (the runtime auditor enforces the same contract when enabled).
+
+    ``__init__`` / ``__post_init__`` are exempt: the object is not yet
+    shared during construction.
+    """
+
+    id = "guarded-by"
+    summary = "guarded attribute accessed outside its lock"
+
+    _EXEMPT = {"__init__", "__post_init__"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                guards = self._collect_guards(node, source)
+                if guards:
+                    yield from self._check_class(node, guards, source)
+
+    def _collect_guards(
+        self, cls: ast.ClassDef, source: SourceFile
+    ) -> Dict[str, str]:
+        """Map guarded attribute name -> lock attribute name."""
+        guards: Dict[str, str] = {}
+        for node in ast.walk(cls):
+            lock = source.guards.get(getattr(node, "lineno", -1))
+            if lock is None:
+                continue
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    guards[target.attr] = lock
+                elif isinstance(target, ast.Name):  # class-level declaration
+                    guards[target.id] = lock
+        return guards
+
+    def _check_class(
+        self, cls: ast.ClassDef, guards: Dict[str, str], source: SourceFile
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in self._EXEMPT:
+                continue
+            held = self._asserted_locks(stmt)
+            for body_stmt in stmt.body:
+                yield from self._scan(body_stmt, guards, held, source)
+
+    def _asserted_locks(self, fn: ast.AST) -> Set[str]:
+        """Locks the function declares held via ``assert_holds(self.X)``."""
+        held: Set[str] = set()
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and self._callee_name(node.func) == "assert_holds"
+                and node.args
+                and isinstance(node.args[0], ast.Attribute)
+                and isinstance(node.args[0].value, ast.Name)
+                and node.args[0].value.id == "self"
+            ):
+                held.add(node.args[0].attr)
+        return held
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _scan(
+        self,
+        node: ast.AST,
+        guards: Dict[str, str],
+        held: Set[str],
+        source: SourceFile,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                expr = item.context_expr
+                # ``with self.<lock>:`` — both plain and audited locks.
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    acquired.add(expr.attr)
+                yield from self._scan(expr, guards, held, source)
+            inner = held | acquired
+            for child in node.body:
+                yield from self._scan(child, guards, inner, source)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guards
+            and guards[node.attr] not in held
+        ):
+            yield self.finding(
+                source,
+                node,
+                f"self.{node.attr} is guarded by self.{guards[node.attr]} "
+                f"(# guarded-by) but accessed without holding it",
+            )
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(child, guards, held, source)

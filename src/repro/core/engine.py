@@ -31,6 +31,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..analysis.raceaudit import assert_holds, audited_lock
 from ..simdata.generator import FleetGenerator, UnitData
 from ..sparklet.context import SparkletContext
 from .fdr import AnomalyReport, FDRDetectorConfig
@@ -82,7 +83,8 @@ class FleetEvaluationEngine:
         self.models = models
         self.config = config if config is not None else FDRDetectorConfig()
         self.ctx = ctx
-        self._evaluators: Dict[int, Tuple[UnitModel, OnlineEvaluator]] = {}
+        self._evaluators: Dict[int, Tuple[UnitModel, OnlineEvaluator]] = {}  # guarded-by: _lock
+        self._lock = audited_lock("core.engine.evaluators")
 
     # ------------------------------------------------------------------
     # evaluator cache
@@ -95,6 +97,13 @@ class FleetEvaluationEngine:
             raise KeyError(
                 f"unit {unit_id} has no trained model; train it first"
             ) from None
+        with self._lock:
+            return self._evaluator_locked(unit_id, model)
+
+    def _evaluator_locked(self, unit_id: int, model: UnitModel) -> OnlineEvaluator:
+        """Cache lookup/rebuild; caller holds ``_lock`` (worker threads
+        hit the read path concurrently during fan-out)."""
+        assert_holds(self._lock)
         cached = self._evaluators.get(unit_id)
         if cached is not None and cached[0] is model:
             return cached[1]
@@ -104,10 +113,11 @@ class FleetEvaluationEngine:
 
     def invalidate(self, unit_id: Optional[int] = None) -> None:
         """Drop cached evaluators (one unit, or all when ``None``)."""
-        if unit_id is None:
-            self._evaluators.clear()
-        else:
-            self._evaluators.pop(unit_id, None)
+        with self._lock:
+            if unit_id is None:
+                self._evaluators.clear()
+            else:
+                self._evaluators.pop(unit_id, None)
 
     # ------------------------------------------------------------------
     # scoring
@@ -141,8 +151,8 @@ class FleetEvaluationEngine:
         wave = wave_size if wave_size is not None else max(4 * par, 8)
         if wave < 1:
             raise ValueError("wave_size must be >= 1")
-        # Evaluator construction mutates the cache dict: do it up front
-        # in the driver thread so worker tasks only ever read it.
+        # Warm the evaluator cache up front in the driver thread so the
+        # fan-out hits the locked fast path without rebuild contention.
         for unit_id in units:
             self.evaluator_for(unit_id)
 

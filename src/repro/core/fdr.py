@@ -116,7 +116,7 @@ class AnomalyReport:
 class FDRDetector:
     """Offline-trained, online-evaluated FDR anomaly detector."""
 
-    def __init__(self, config: Optional[FDRDetectorConfig] = None, **overrides) -> None:
+    def __init__(self, config: Optional[FDRDetectorConfig] = None, **overrides: object) -> None:
         if config is None:
             config = FDRDetectorConfig(**overrides)
         elif overrides:

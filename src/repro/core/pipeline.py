@@ -33,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,7 +118,7 @@ class PipelineConfig:
         if self.wave_size is not None and self.wave_size < 1:
             raise ValueError("wave_size must be >= 1")
 
-    def with_overrides(self, **overrides) -> "PipelineConfig":
+    def with_overrides(self, **overrides: object) -> "PipelineConfig":
         """A copy with every non-``None`` override applied."""
         changes = {k: v for k, v in overrides.items() if v is not None}
         return dataclasses.replace(self, **changes) if changes else self
@@ -238,7 +238,7 @@ class AnomalyPipeline:
             if u not in self._models or self._models[u].n_train != n_train
         ]
         if self.ctx is not None and self.store is not None:
-            keys: list = []
+            keys: List[str] = []
             if stale:
                 trainer = OfflineTrainer(self.ctx, self.store, self.config)
                 keys = trainer.train_fleet(self.generator, stale, n_train).keys
@@ -385,7 +385,9 @@ class AnomalyPipeline:
         )
         return make("publish.data"), make("publish.anomaly")
 
-    def _anomaly_points(self, window: UnitData, report: AnomalyReport):
+    def _anomaly_points(
+        self, window: UnitData, report: AnomalyReport
+    ) -> Iterator[DataPoint]:
         """Flagged per-sensor scores and unit alarms as TSDB points."""
         utag = ("unit", unit_tag(window.unit_id))
         rows, cols = np.nonzero(report.flags)

@@ -19,7 +19,7 @@ stand-in).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class TrainingResult:
     def n_units(self) -> int:
         return len(self.unit_ids)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.unit_ids)
 
     def __len__(self) -> int:

@@ -11,8 +11,9 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
+from ..analysis.raceaudit import assert_holds, audited_lock
 from .rdd import RDD, ParallelCollectionRDD
 from .scheduler import DAGScheduler
 from .shuffle import ShuffleManager
@@ -74,8 +75,8 @@ class SparkletContext:
         self.shuffle_manager = ShuffleManager()
         self._rdd_ids = itertools.count()
         self._shuffle_ids = itertools.count()
-        self._cache: Dict[tuple, List[Any]] = {}
-        self._cache_lock = threading.Lock()
+        self._cache: Dict[Tuple[int, int], List[Any]] = {}  # guarded-by: _cache_lock
+        self._cache_lock = audited_lock("sparklet.context.cache")
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=parallelism, thread_name_prefix="sparklet")
             if executor == "threads"
@@ -144,13 +145,18 @@ class SparkletContext:
             return rdd.compute(split)
         key = (rdd.rdd_id, split)
         with self._cache_lock:
-            hit = self._cache.get(key)
+            hit = self._cache_peek(key)
         if hit is not None:
             return iter(hit)
         data = list(rdd.compute(split))
         with self._cache_lock:
             self._cache[key] = data
         return iter(data)
+
+    def _cache_peek(self, key: Tuple[int, int]) -> Optional[List[Any]]:
+        """Cached partition lookup; caller holds ``_cache_lock``."""
+        assert_holds(self._cache_lock)
+        return self._cache.get(key)
 
     def _evict_cache(self, rdd_id: int) -> None:
         with self._cache_lock:
@@ -177,10 +183,11 @@ class SparkletContext:
         self._stopped = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def __enter__(self) -> "SparkletContext":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()

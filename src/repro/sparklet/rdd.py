@@ -242,7 +242,7 @@ class RDD(Generic[T]):
         )
         grouped = tagged.group_by_key(num_partitions)
 
-        def split(kv):
+        def split(kv: Tuple[K, List[Tuple[int, Any]]]) -> Tuple[K, Tuple[List[V], List[U]]]:
             key, tagged_values = kv
             left = [v for tag, v in tagged_values if tag == 0]
             right = [v for tag, v in tagged_values if tag == 1]
@@ -260,7 +260,9 @@ class RDD(Generic[T]):
     def left_outer_join(
         self, other: "RDD[Tuple[K, U]]", num_partitions: Optional[int] = None
     ) -> "RDD[Tuple[K, Tuple[V, Optional[U]]]]":
-        def emit(kv):
+        def emit(
+            kv: Tuple[K, Tuple[List[V], List[U]]]
+        ) -> Iterator[Tuple[K, Tuple[V, Optional[U]]]]:
             key, (left, right) = kv
             if not right:
                 return ((key, (l, None)) for l in left)

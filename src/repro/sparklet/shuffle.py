@@ -7,16 +7,19 @@ for ``reduceByKey``).  Outputs land in the :class:`ShuffleManager`
 keyed by ``(shuffle_id, map_partition, reduce_partition)``.  The
 *reduce side* fetches its bucket from every map partition and merges.
 
-Thread-safety: map tasks for distinct partitions write disjoint slots,
-so a plain dict with a lock around registration suffices.
+Thread-safety: the block/metrics maps are ``# guarded-by: _lock`` —
+map-side registration mutates them under the lock and the reduce side
+snapshots its blocks under the same lock before merging outside it.
+The lock is created through :func:`repro.analysis.raceaudit.audited_lock`
+so test runs record the acquisition order.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..analysis.raceaudit import assert_holds, audited_lock
 from .partitioner import Partitioner
 
 __all__ = ["Aggregator", "ShuffleManager", "ShuffleWriteMetrics"]
@@ -46,10 +49,10 @@ class ShuffleManager:
     """Stores shuffle blocks for all jobs run by one context."""
 
     def __init__(self) -> None:
-        self._blocks: Dict[Tuple[int, int, int], List[Tuple[Any, Any]]] = {}
-        self._maps_done: Dict[int, set] = {}
-        self._lock = threading.Lock()
-        self.metrics: Dict[int, ShuffleWriteMetrics] = {}
+        self._blocks: Dict[Tuple[int, int, int], List[Tuple[Any, Any]]] = {}  # guarded-by: _lock
+        self._maps_done: Dict[int, set] = {}  # guarded-by: _lock
+        self._lock = audited_lock("sparklet.shuffle.blocks")
+        self.metrics: Dict[int, ShuffleWriteMetrics] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # map side
@@ -64,7 +67,6 @@ class ShuffleManager:
     ) -> None:
         """Route one map partition's key-value records into reduce buckets."""
         buckets: List[Dict[Any, Any] | List[Tuple[Any, Any]]]
-        metrics = self.metrics.setdefault(shuffle_id, ShuffleWriteMetrics())
         n_in = 0
         if aggregator is not None:
             combined: List[Dict[Any, Any]] = [dict() for _ in range(partitioner.num_partitions)]
@@ -83,6 +85,7 @@ class ShuffleManager:
                 plain[partitioner.partition(key)].append((key, value))
             out = plain
         with self._lock:
+            metrics = self.metrics.setdefault(shuffle_id, ShuffleWriteMetrics())
             metrics.records_in += n_in
             for reduce_partition, block in enumerate(out):
                 metrics.records_out += len(block)
@@ -108,10 +111,11 @@ class ShuffleManager:
         With an aggregator, map-side combiners are merged with
         ``merge_combiners``; otherwise values are grouped into lists.
         """
+        with self._lock:
+            blocks = self._fetch_blocks(shuffle_id, reduce_partition, num_map_partitions)
         merged: Dict[Any, Any] = {}
         grouped: Dict[Any, List[Any]] = {}
-        for map_partition in range(num_map_partitions):
-            block = self._blocks.get((shuffle_id, map_partition, reduce_partition), [])
+        for block in blocks:
             if aggregator is not None:
                 for key, combiner in block:
                     if key in merged:
@@ -123,6 +127,16 @@ class ShuffleManager:
                     grouped.setdefault(key, []).append(value)
         source = merged if aggregator is not None else grouped
         return iter(source.items())
+
+    def _fetch_blocks(
+        self, shuffle_id: int, reduce_partition: int, num_map_partitions: int
+    ) -> List[List[Tuple[Any, Any]]]:
+        """Snapshot one reduce partition's blocks; caller holds ``_lock``."""
+        assert_holds(self._lock)
+        return [
+            self._blocks.get((shuffle_id, map_partition, reduce_partition), [])
+            for map_partition in range(num_map_partitions)
+        ]
 
     def free(self, shuffle_id: int) -> None:
         """Drop a shuffle's blocks (job GC)."""

@@ -66,7 +66,9 @@ class BlockStore:
                 np.savez(fh, **arrays)
             digest = self._digest(Path(tmp_name))
             os.replace(tmp_name, data_path)
-        except BaseException:
+        # Deliberately broad: temp-file cleanup must run even on
+        # KeyboardInterrupt/SystemExit; the exception is re-raised as-is.
+        except BaseException:  # repro-lint: ignore[broad-except]
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
             raise

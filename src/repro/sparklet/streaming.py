@@ -16,7 +16,7 @@ keeps tests deterministic (no wall-clock coupling).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .context import SparkletContext
 from .rdd import RDD
@@ -167,7 +167,7 @@ class DStream:
         does).  ``old_state`` is ``None`` for unseen keys; returning
         ``None`` drops the key.
         """
-        state: dict = {}
+        state: Dict[Any, Any] = {}
 
         def on_batch(_t: int, rdd: RDD) -> RDD:
             grouped = dict(rdd.group_by_key().collect())

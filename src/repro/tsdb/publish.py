@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from ..analysis.raceaudit import assert_holds, audited_lock
 from ..cluster.metrics import MetricsRegistry
 from .ingest import TsdbCluster
 from .tsd import DataPoint, PutAck
@@ -112,7 +113,10 @@ class BatchPublisher:
         self.channel = channel
         self.report = PublishReport(mode="proxy" if use_proxy_path else "direct")
         self._batch: List[DataPoint] = []
-        self._pending = 0
+        # Ack state is mutated by _on_ack callbacks fired from simulator
+        # steps as well as by the submitting driver code.
+        self._state_lock = audited_lock("tsdb.publish.state")
+        self._pending = 0  # guarded-by: _state_lock
         self._closed = False
         self._retries_at_start = cluster.metrics.counter("proxy.retries").get()
 
@@ -133,7 +137,8 @@ class BatchPublisher:
     @property
     def pending_batches(self) -> int:
         """Batches submitted but not yet durably acknowledged."""
-        return self._pending
+        with self._state_lock:
+            return self._pending
 
     # ------------------------------------------------------------------
     # drain
@@ -146,11 +151,11 @@ class BatchPublisher:
             self._submit(self._batch)
             self._batch = []
         sim = self.cluster.sim
-        while self._pending and sim.step():
+        while self.pending_batches and sim.step():
             pass
         self._closed = True
         rep = self.report
-        rep.pending_unresolved = self._pending
+        rep.pending_unresolved = self.pending_batches
         rep.retries = int(
             self.cluster.metrics.counter("proxy.retries").get() - self._retries_at_start
         )
@@ -171,17 +176,24 @@ class BatchPublisher:
             self.metrics.counter(f"{self.channel}.acks").inc()
             self.metrics.counter(f"{self.channel}.points_written").inc(written)
             return
-        self._pending += 1
-        rep.max_pending = max(rep.max_pending, self._pending)
-        self.metrics.gauge(f"{self.channel}.max_pending").set(self._pending)
+        with self._state_lock:
+            self._pending += 1
+            rep.max_pending = max(rep.max_pending, self._pending)
+            self.metrics.gauge(f"{self.channel}.max_pending").set(self._pending)
         self.cluster.submit(batch, self._on_ack)
         # Backpressure: step the cluster simulation until the in-flight
         # window has room again, so the producer cannot outrun storage.
         sim = self.cluster.sim
-        while self._pending >= self.max_in_flight_batches and sim.step():
+        while self.pending_batches >= self.max_in_flight_batches and sim.step():
             pass
 
     def _on_ack(self, ack: PutAck) -> None:
+        with self._state_lock:
+            self._record_ack(ack)
+
+    def _record_ack(self, ack: PutAck) -> None:
+        """Fold one durable ack into the report; caller holds ``_state_lock``."""
+        assert_holds(self._state_lock)
         self._pending -= 1
         rep = self.report
         rep.batches_acked += 1

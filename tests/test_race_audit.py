@@ -1,0 +1,157 @@
+"""Runtime race auditor: lock-order graph, ABBA detection, assert_holds."""
+
+import threading
+
+import pytest
+
+from repro.analysis import raceaudit
+from repro.analysis.raceaudit import (
+    AuditedLock,
+    GuardedStateError,
+    LockOrderViolation,
+    assert_holds,
+    audited_lock,
+    auditing,
+)
+
+
+class TestDisabled:
+    def test_audited_lock_is_plain_lock_when_disabled(self):
+        assert raceaudit.current() is None
+        lock = audited_lock("x")
+        assert not isinstance(lock, AuditedLock)
+        with lock:  # still a working lock
+            pass
+
+    def test_reentrant_flavour(self):
+        lock = audited_lock("x", reentrant=True)
+        with lock:
+            with lock:
+                pass
+
+    def test_assert_holds_is_noop_on_plain_locks(self):
+        assert_holds(threading.Lock())  # must not raise
+
+
+class TestLockOrderGraph:
+    def test_nested_acquire_records_edge(self):
+        with auditing() as auditor:
+            a = audited_lock("A")
+            b = audited_lock("B")
+            with a:
+                with b:
+                    pass
+            assert ("A", "B") in auditor.edges()
+            assert ("B", "A") not in auditor.edges()
+            auditor.assert_no_cycles()
+
+    def test_consistent_order_is_acyclic(self):
+        with auditing() as auditor:
+            a, b, c = (audited_lock(n) for n in "ABC")
+            for _ in range(3):
+                with a:
+                    with b:
+                        with c:
+                            pass
+            assert auditor.find_cycle() is None
+
+    def test_abba_cycle_detected(self):
+        """The classic two-lock deadlock shape, exercised sequentially."""
+        with auditing() as auditor:
+            a = audited_lock("A")
+            b = audited_lock("B")
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+            cycle = auditor.find_cycle()
+            assert cycle is not None
+            assert set(cycle) == {"A", "B"}
+            with pytest.raises(LockOrderViolation, match="A|B"):
+                auditor.assert_no_cycles()
+
+    def test_three_lock_cycle_detected(self):
+        with auditing() as auditor:
+            a, b, c = (audited_lock(n) for n in "ABC")
+            for first, second in ((a, b), (b, c), (c, a)):
+                with first:
+                    with second:
+                        pass
+            with pytest.raises(LockOrderViolation):
+                auditor.assert_no_cycles()
+
+    def test_reentrant_acquire_is_not_an_edge(self):
+        with auditing() as auditor:
+            r = audited_lock("R", reentrant=True)
+            with r:
+                with r:
+                    pass
+            assert ("R", "R") not in auditor.edges()
+            auditor.assert_no_cycles()
+
+    def test_acquire_counts(self):
+        with auditing() as auditor:
+            a = audited_lock("A")
+            with a:
+                pass
+            with a:
+                pass
+            assert auditor.acquire_counts()["A"] == 2
+
+
+class TestAssertHolds:
+    def test_raises_when_not_held(self):
+        with auditing():
+            lock = audited_lock("L")
+            with pytest.raises(GuardedStateError, match="L"):
+                assert_holds(lock)
+
+    def test_passes_when_held(self):
+        with auditing():
+            lock = audited_lock("L")
+            with lock:
+                assert_holds(lock)
+
+    def test_held_state_is_per_thread(self):
+        with auditing():
+            lock = audited_lock("L")
+            errors = []
+
+            def other():
+                try:
+                    assert_holds(lock)
+                except GuardedStateError as exc:
+                    errors.append(exc)
+
+            with lock:
+                t = threading.Thread(target=other)
+                t.start()
+                t.join()
+            assert len(errors) == 1  # the other thread does not hold it
+
+    def test_release_without_hold_raises(self):
+        with auditing() as auditor:
+            with pytest.raises(GuardedStateError):
+                auditor.on_release("never-acquired")
+
+
+class TestThreadedRecording:
+    def test_edges_merge_across_threads(self):
+        with auditing() as auditor:
+            a = audited_lock("A")
+            b = audited_lock("B")
+
+            def worker():
+                with a:
+                    with b:
+                        pass
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert auditor.edges()[("A", "B")] == 4
+            auditor.assert_no_cycles()

@@ -1,0 +1,300 @@
+"""Unit tests for the repro-lint framework and every rule.
+
+Each rule gets a known-bad fixture snippet that must fire and a close
+clean variant that must not; suppression handling and report plumbing
+are covered on top.  Fixtures are strings (not files), so the
+self-host run over ``tests/`` does not see them as code.
+"""
+
+import textwrap
+
+from repro.analysis.lint import (
+    PARSE_ERROR,
+    all_rules,
+    lint_paths,
+    lint_source,
+)
+
+CORE_PATH = "src/repro/core/detector.py"  # float-equality applies to core/ only
+
+
+def findings(src, path="src/repro/module.py"):
+    return [f for f in lint_source(textwrap.dedent(src), path) if not f.suppressed]
+
+
+def rule_ids(src, path="src/repro/module.py"):
+    return {f.rule for f in findings(src, path)}
+
+
+class TestFramework:
+    def test_all_rules_registered(self):
+        assert {r.id for r in all_rules()} == {
+            "unseeded-rng",
+            "float-equality",
+            "frozen-setattr",
+            "broad-except",
+            "mutable-default",
+            "guarded-by",
+        }
+
+    def test_parse_error_is_a_finding(self):
+        found = lint_source("def broken(:\n")
+        assert [f.rule for f in found] == [PARSE_ERROR]
+
+    def test_clean_realistic_fixture_no_false_positives(self):
+        assert not findings(
+            """
+            import threading
+
+            import numpy as np
+
+            class Sampler:
+                def __init__(self, seed):
+                    self.rng = np.random.default_rng(seed)
+                    self._lock = threading.Lock()
+                    self._counts = {}  # guarded-by: _lock
+
+                def draw(self, n):
+                    with self._lock:
+                        self._counts[n] = self._counts.get(n, 0) + 1
+                    return self.rng.normal(size=n)
+
+                def safe_compare(self, x, tol=1e-9):
+                    try:
+                        return abs(x - 1.0) < tol
+                    except TypeError:
+                        return False
+            """,
+            path=CORE_PATH,
+        )
+
+    def test_lint_paths_report(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\nrandom.seed(0)\n"
+        )
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert not report.ok
+        assert [f.rule for f in report.unsuppressed] == ["unseeded-rng"]
+        payload = report.to_json()
+        assert payload["unsuppressed"] == 1
+        assert payload["findings"][0]["line"] == 2
+        assert "bad.py" in report.render()
+
+
+class TestSuppression:
+    BAD = "import numpy as np\nrng = np.random.default_rng()"
+
+    def test_rule_scoped_suppression(self):
+        src = self.BAD + "  # repro-lint: ignore[unseeded-rng]\n"
+        assert not [f for f in lint_source(src) if not f.suppressed]
+        # ... but the waiver stays visible as a suppressed finding.
+        assert [f.rule for f in lint_source(src) if f.suppressed] == ["unseeded-rng"]
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = self.BAD + "  # repro-lint: ignore[broad-except]\n"
+        assert [f.rule for f in lint_source(src) if not f.suppressed] == [
+            "unseeded-rng"
+        ]
+
+    def test_blanket_suppression(self):
+        src = self.BAD + "  # repro-lint: ignore\n"
+        assert not [f for f in lint_source(src) if not f.suppressed]
+
+    def test_suppression_is_line_scoped(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng()  # repro-lint: ignore[unseeded-rng]\n"
+            "b = np.random.default_rng()\n"
+        )
+        unsuppressed = [f for f in lint_source(src) if not f.suppressed]
+        assert len(unsuppressed) == 1 and unsuppressed[0].line == 3
+
+
+class TestUnseededRng:
+    def test_unseeded_default_rng(self):
+        assert rule_ids("import numpy as np\nr = np.random.default_rng()\n") == {
+            "unseeded-rng"
+        }
+
+    def test_seeded_default_rng_clean(self):
+        assert not findings("import numpy as np\nr = np.random.default_rng(7)\n")
+
+    def test_legacy_global_numpy(self):
+        assert rule_ids("import numpy as np\nx = np.random.normal(0.0, 1.0)\n") == {
+            "unseeded-rng"
+        }
+
+    def test_stdlib_global_rng(self):
+        assert rule_ids("import random\nx = random.random()\n") == {"unseeded-rng"}
+
+    def test_stdlib_from_import(self):
+        assert rule_ids("from random import shuffle\nshuffle([1, 2])\n") == {
+            "unseeded-rng"
+        }
+
+    def test_unseeded_random_instance(self):
+        assert rule_ids("import random\nr = random.Random()\n") == {"unseeded-rng"}
+
+    def test_seeded_random_instance_clean(self):
+        assert not findings("import random\nr = random.Random(3)\n")
+
+    def test_alias_resolution(self):
+        assert rule_ids("import numpy\nnumpy.random.rand(3)\n") == {"unseeded-rng"}
+
+    def test_unrelated_module_named_random_clean(self):
+        # Attribute access on a non-RNG object is not flagged.
+        assert not findings("obj = get()\nobj.random.shuffle(x)\n")
+
+
+class TestFloatEquality:
+    def test_fires_in_core(self):
+        assert rule_ids("def f(x):\n    return x == 1.0\n", CORE_PATH) == {
+            "float-equality"
+        }
+
+    def test_not_equal_fires(self):
+        assert rule_ids("def f(x):\n    return x != 0.5\n", CORE_PATH) == {
+            "float-equality"
+        }
+
+    def test_outside_core_clean(self):
+        assert not findings("def f(x):\n    return x == 1.0\n", "tests/test_x.py")
+
+    def test_integer_comparison_clean(self):
+        assert not findings("def f(x):\n    return x == 1\n", CORE_PATH)
+
+    def test_inequality_clean(self):
+        assert not findings("def f(x):\n    return x >= 1.0\n", CORE_PATH)
+
+
+class TestFrozenSetattr:
+    def test_fires_outside_post_init(self):
+        src = """
+        class C:
+            def thaw(self, v):
+                object.__setattr__(self, "x", v)
+        """
+        assert rule_ids(src) == {"frozen-setattr"}
+
+    def test_post_init_clean(self):
+        src = """
+        class C:
+            def __post_init__(self):
+                object.__setattr__(self, "x", 1)
+        """
+        assert not findings(src)
+
+    def test_module_level_fires(self):
+        assert rule_ids("object.__setattr__(cfg, 'x', 1)\n") == {"frozen-setattr"}
+
+
+class TestBroadExcept:
+    def test_bare_except(self):
+        assert rule_ids("try:\n    f()\nexcept:\n    pass\n") == {"broad-except"}
+
+    def test_base_exception(self):
+        assert rule_ids("try:\n    f()\nexcept BaseException:\n    raise\n") == {
+            "broad-except"
+        }
+
+    def test_exception_swallow(self):
+        assert rule_ids("try:\n    f()\nexcept Exception:\n    pass\n") == {
+            "broad-except"
+        }
+
+    def test_handled_exception_clean(self):
+        assert not findings(
+            "try:\n    f()\nexcept Exception as exc:\n    log(exc)\n    raise\n"
+        )
+
+    def test_narrow_except_clean(self):
+        assert not findings("try:\n    f()\nexcept ValueError:\n    pass\n")
+
+
+class TestMutableDefault:
+    def test_list_literal(self):
+        assert rule_ids("def f(x=[]):\n    return x\n") == {"mutable-default"}
+
+    def test_dict_call(self):
+        assert rule_ids("def f(x=dict()):\n    return x\n") == {"mutable-default"}
+
+    def test_kwonly_default(self):
+        assert rule_ids("def f(*, x={}):\n    return x\n") == {"mutable-default"}
+
+    def test_immutable_defaults_clean(self):
+        assert not findings("def f(x=(), y=None, z=1, w='s'):\n    return x\n")
+
+
+class TestGuardedBy:
+    GOOD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}  # guarded-by: _lock
+
+        def put(self, k, v):
+            with self._lock:
+                self._items[k] = v
+
+        def merge(self, k, v):
+            assert_holds(self._lock)
+            self._items[k] = self._items.get(k, 0) + v
+    """
+
+    def test_clean_class(self):
+        assert not findings(self.GOOD)
+
+    def test_unlocked_access_fires(self):
+        src = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}  # guarded-by: _lock
+
+            def leak(self):
+                return self._items
+        """
+        found = findings(src)
+        assert [f.rule for f in found] == ["guarded-by"]
+        assert "_items" in found[0].message and "_lock" in found[0].message
+
+    def test_init_exempt(self):
+        src = """
+        class Store:
+            def __init__(self):
+                self._lock = object()
+                self._items = {}  # guarded-by: _lock
+                self._items["warm"] = 1
+        """
+        assert not findings(src)
+
+    def test_wrong_lock_fires(self):
+        src = """
+        class Store:
+            def __init__(self):
+                self._a = object()
+                self._b = object()
+                self._items = {}  # guarded-by: _a
+
+            def bad(self):
+                with self._b:
+                    return self._items
+        """
+        assert [f.rule for f in findings(src)] == ["guarded-by"]
+
+    def test_unannotated_class_ignored(self):
+        src = """
+        class Plain:
+            def __init__(self):
+                self._items = {}
+
+            def get(self):
+                return self._items
+        """
+        assert not findings(src)

@@ -1,0 +1,106 @@
+"""Tier-1 static-analysis gate: repro-lint + ruff + mypy.
+
+Three layers, in decreasing order of availability:
+
+* **repro-lint** (``python -m repro.analysis``) is stdlib-only and
+  always runs: the tree must self-host with zero unsuppressed
+  findings.
+* **ruff** and **mypy** are optional toolchain extras
+  (``pip install -e .[analysis]``); their gates run when the tool is
+  importable and skip otherwise, so the tier-1 suite stays runnable in
+  minimal environments.  Their configuration lives in
+  ``pyproject.toml``.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+ANALYSIS_TARGETS = ["src", "tests", "benchmarks", "examples"]
+
+
+def _run(cmd, **kwargs):
+    env = kwargs.pop("env", None)
+    if env is None:
+        import os
+
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+    return subprocess.run(
+        cmd, cwd=REPO_ROOT, capture_output=True, text=True, timeout=600, env=env,
+        **kwargs,
+    )
+
+
+def _module_command(module, binary=None):
+    if binary and shutil.which(binary):
+        return [binary]
+    try:
+        __import__(module)
+        return [sys.executable, "-m", module]
+    except ImportError:
+        return None
+
+
+class TestReproLint:
+    def test_self_host_clean(self):
+        """The whole tree lints clean (suppressions must be justified inline)."""
+        proc = _run([sys.executable, "-m", "repro.analysis", *ANALYSIS_TARGETS])
+        assert proc.returncode == 0, (
+            f"repro-lint findings:\n{proc.stdout}\n{proc.stderr}"
+        )
+
+    def test_json_report_shape(self):
+        proc = _run(
+            [sys.executable, "-m", "repro.analysis", "--json", *ANALYSIS_TARGETS]
+        )
+        report = json.loads(proc.stdout)
+        assert report["unsuppressed"] == 0
+        assert report["files_checked"] > 100
+        # The deliberate waivers stay visible in the report.
+        assert report["suppressed"] == len(
+            [f for f in report["findings"] if f["suppressed"]]
+        )
+
+    def test_rule_catalogue_lists_all_six(self):
+        proc = _run([sys.executable, "-m", "repro.analysis", "--list-rules"])
+        assert proc.returncode == 0
+        listed = {line.split()[0] for line in proc.stdout.splitlines() if line.strip()}
+        assert {
+            "unseeded-rng",
+            "float-equality",
+            "frozen-setattr",
+            "broad-except",
+            "mutable-default",
+            "guarded-by",
+        } <= listed
+
+    def test_exit_code_on_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        proc = _run([sys.executable, "-m", "repro.analysis", str(bad)])
+        assert proc.returncode == 1
+        assert "unseeded-rng" in proc.stdout
+
+
+@pytest.mark.skipif(
+    _module_command("ruff", "ruff") is None, reason="ruff is not installed"
+)
+def test_ruff_clean():
+    proc = _run(_module_command("ruff", "ruff") + ["check", "."])
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}\n{proc.stderr}"
+
+
+@pytest.mark.skipif(_module_command("mypy") is None, reason="mypy is not installed")
+def test_mypy_strict_tier_clean():
+    """Strict typing on core/, sparklet/, tsdb/publish.py, analysis/."""
+    proc = _run(_module_command("mypy") + ["--config-file", "pyproject.toml"])
+    assert proc.returncode == 0, f"mypy findings:\n{proc.stdout}\n{proc.stderr}"
