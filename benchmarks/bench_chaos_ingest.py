@@ -1,0 +1,40 @@
+"""E12 — chaos: the hardened ingest path's overhead and crash survival.
+
+The robustness claim behind §III-B's buffering proxy, extended with
+circuit breakers, bounded retries, ack timeouts, and publisher
+deadlines: fault-free those mechanisms are close to free, and under an
+injected mid-publish TSD crash they keep the delivery-conservation
+invariant (every point written, failed, or dead-lettered — none
+silently lost) at a measurable throughput/latency cost.
+
+Shape assertions: < 5% fault-free goodput overhead; the crash run
+engages ack timeouts and retries, degrades goodput, and still accounts
+for every submitted point.
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_ingest(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run("e12", n_points=10_000, batch_size=100),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    numbers = result.numbers
+
+    # hardening (breakers + timeouts + deadlines) is ~free fault-free
+    assert numbers["overhead_frac"] < 0.05
+    # the crash demonstrably engaged the recovery machinery...
+    assert numbers["crash_ack_timeouts"] >= 1
+    assert numbers["crash_retries"] >= 1
+    # ...at a real cost in goodput and ack latency...
+    assert numbers["crash_goodput"] < numbers["hardened_goodput"]
+    assert numbers["crash_ack_p99_ms"] > numbers["hardened_ack_p99_ms"]
+    # ...while conserving delivery accounting in every configuration
+    for slug in ("hardened", "baseline", "crash"):
+        assert numbers[f"{slug}_unaccounted"] == 0

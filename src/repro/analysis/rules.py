@@ -1,24 +1,29 @@
 """The repro-lint rule catalogue.
 
-Six rules tuned to this repository's correctness invariants:
+Seven rules tuned to this repository's correctness invariants:
 
-==================  ====================================================
-``unseeded-rng``    RNG created or used without an explicit seed
-                    (reproducibility: every window must be
-                    deterministic per ``(seed, unit)``)
-``float-equality``  ``==`` / ``!=`` against float literals in the
-                    ``core/`` detector math (bit-identity is asserted
-                    with tolerances or exact integer flags, never
-                    float equality)
-``frozen-setattr``  ``object.__setattr__`` outside ``__post_init__``
-                    (the only sanctioned frozen-dataclass escape hatch)
-``broad-except``    bare ``except:``, ``except BaseException:``, or an
-                    ``except Exception:`` that silently swallows
-``mutable-default`` mutable default argument values
-``guarded-by``      access to a ``# guarded-by: <lock>`` attribute
-                    outside a ``with self.<lock>:`` block (or a
-                    function asserting ``assert_holds(self.<lock>)``)
-==================  ====================================================
+===================  ===================================================
+``unseeded-rng``     RNG created or used without an explicit seed
+                     (reproducibility: every window must be
+                     deterministic per ``(seed, unit)``)
+``float-equality``   ``==`` / ``!=`` against float literals in the
+                     ``core/`` detector math (bit-identity is asserted
+                     with tolerances or exact integer flags, never
+                     float equality)
+``frozen-setattr``   ``object.__setattr__`` outside ``__post_init__``
+                     (the only sanctioned frozen-dataclass escape
+                     hatch)
+``broad-except``     bare ``except:``, ``except BaseException:``, or an
+                     ``except Exception:`` that silently swallows
+``mutable-default``  mutable default argument values
+``guarded-by``       access to a ``# guarded-by: <lock>`` attribute
+                     outside a ``with self.<lock>:`` block (or a
+                     function asserting ``assert_holds(self.<lock>)``)
+``unbounded-retry``  a retry path that re-schedules itself with no
+                     attempt bound or budget in sight (every retry in
+                     the ingest path must be bounded — see DESIGN.md
+                     "Failure model and delivery guarantees")
+===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
 suppressable per line via ``# repro-lint: ignore[<id>]``.
@@ -27,6 +32,7 @@ suppressable per line via ``# repro-lint: ignore[<id>]``.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Set
 
 from .lint import Finding, Rule, SourceFile, register
@@ -37,6 +43,7 @@ __all__ = [
     "FrozenSetattrRule",
     "GuardedByRule",
     "MutableDefaultRule",
+    "UnboundedRetryRule",
     "UnseededRngRule",
 ]
 
@@ -481,3 +488,187 @@ class GuardedByRule(Rule):
             return
         for child in ast.iter_child_nodes(node):
             yield from self._scan(child, guards, held, source)
+
+
+# ----------------------------------------------------------------------
+@register
+class UnboundedRetryRule(Rule):
+    """Retry loop with no attempt bound or budget in sight.
+
+    The ingest path's delivery accounting only converges because every
+    retry is *bounded*: a batch that keeps failing must eventually be
+    declared permanently failed (or dead-lettered), not re-scheduled
+    forever.  This rule flags the shape that breaks that contract — a
+    function in a **retry context** that re-schedules work
+    (``sim.schedule(...)``) or spins (``while True``) with no **bound
+    evidence** anywhere in scope.
+
+    A function is a retry context when any of:
+
+    * its name mentions retrying (``retry``/``resend``/``resubmit``/
+      ``requeue``/``redispatch``/``retransmit``);
+    * it schedules a callback whose name mentions retrying;
+    * it bumps a retry counter (``self.retried += 1`` or
+      ``counter("...retries...").inc()``).
+
+    Bound evidence is any identifier naming a limit or an attempt
+    count: words like ``attempt``/``attempts``/``budget``/``tries``,
+    or any ``max_*`` name.  Evidence in an enclosing function counts
+    for its closures (the bound check often lives one frame up).
+
+    Plain periodic self-rescheduling (``self._tick`` scheduling
+    ``self._tick``) is exempt — that is a clock, not a retry.
+    """
+
+    id = "unbounded-retry"
+    summary = "retry path re-schedules with no attempt bound or budget"
+
+    _RETRY = re.compile(r"retr(y|i)|resend|resubmit|requeue|redispatch|retransmit", re.I)
+    _BOUND_WORDS = {"attempt", "attempts", "budget", "tries", "try", "retries_left"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        yield from self._walk(source.tree.body, source, inherited=False)
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self, body: List[ast.stmt], source: SourceFile, inherited: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bounded = inherited or self._has_bound_evidence(stmt)
+                if not bounded and self._is_retry_context(stmt):
+                    yield from self._flag_unbounded(stmt, source)
+                yield from self._walk(stmt.body, source, inherited=bounded)
+            elif isinstance(stmt, ast.ClassDef):
+                # A class body resets the scope: methods do not close
+                # over module-level bounds.
+                yield from self._walk(stmt.body, source, inherited=False)
+            else:
+                for child in ast.walk(stmt):
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        bounded = inherited or self._has_bound_evidence(child)
+                        if not bounded and self._is_retry_context(child):
+                            yield from self._flag_unbounded(child, source)
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def _is_retry_context(self, fn: ast.AST) -> bool:
+        name = getattr(fn, "name", "")
+        if self._RETRY.search(name):
+            return True
+        for node in self._own_nodes(fn):
+            # self.retried += 1 / report.retransmits += 1
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and self._RETRY.search(node.target.attr)
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                # counter("...retries...").inc(...)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "inc"
+                    and isinstance(node.func.value, ast.Call)
+                    and self._callee_name(node.func.value.func) == "counter"
+                    and node.func.value.args
+                    and isinstance(node.func.value.args[0], ast.Constant)
+                    and isinstance(node.func.value.args[0].value, str)
+                    and self._RETRY.search(node.func.value.args[0].value)
+                ):
+                    return True
+                # schedule(..., self._resend, ...)
+                if self._is_schedule(node):
+                    callback = self._scheduled_callback(node)
+                    if callback is not None and self._RETRY.search(
+                        callback.rpartition(".")[2]
+                    ) and not self._is_self_reschedule(fn, callback):
+                        return True
+        return False
+
+    def _has_bound_evidence(self, fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            name: Optional[str] = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.arg):
+                name = node.arg
+            if name is None:
+                continue
+            lowered = name.lower()
+            if lowered.startswith("max"):
+                return True
+            if self._BOUND_WORDS & set(lowered.split("_")):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # flagging
+    # ------------------------------------------------------------------
+    def _flag_unbounded(self, fn: ast.AST, source: SourceFile) -> Iterator[Finding]:
+        name = getattr(fn, "name", "<lambda>")
+        for node in self._own_nodes(fn):
+            if isinstance(node, ast.Call) and self._is_schedule(node):
+                callback = self._scheduled_callback(node)
+                if callback is not None and self._is_self_reschedule(fn, callback):
+                    continue
+                yield self.finding(
+                    source,
+                    node,
+                    f"{name}() re-schedules a retry with no attempt bound "
+                    "or budget in scope; cap it (max_retries / budget) so "
+                    "delivery accounting can converge",
+                )
+            elif (
+                isinstance(node, ast.While)
+                and isinstance(node.test, ast.Constant)
+                and node.test.value is True
+                and not any(isinstance(sub, ast.Break) for sub in ast.walk(node))
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"{name}() spins retries in a while True with no break, "
+                    "bound, or budget; cap the attempts",
+                )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``fn`` without descending into nested function defs."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_schedule(node: ast.Call) -> bool:
+        return (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "schedule"
+        ) or (isinstance(node.func, ast.Name) and node.func.id == "schedule")
+
+    @staticmethod
+    def _scheduled_callback(node: ast.Call) -> Optional[str]:
+        if len(node.args) >= 2:
+            return _dotted_name(node.args[1])
+        return None
+
+    @staticmethod
+    def _is_self_reschedule(fn: ast.AST, callback: str) -> bool:
+        return callback.rpartition(".")[2] == getattr(fn, "name", "")
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None

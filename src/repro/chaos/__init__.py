@@ -1,0 +1,22 @@
+"""Chaos-engineering harness for the simulated ingestion cluster.
+
+Declarative, seeded fault plans (:mod:`repro.chaos.plan`) replayed
+deterministically against a :class:`~repro.tsdb.ingest.TsdbCluster` by
+an :class:`~repro.chaos.injector.Injector`, with per-run accounting in
+a :class:`~repro.chaos.report.ChaosReport`.  See DESIGN.md ("Failure
+model and delivery guarantees") for the fault taxonomy and the ingest
+hardening it exercises.
+"""
+
+from .injector import Injector
+from .plan import ACTIONS, FaultEvent, FaultPlan
+from .report import ChaosReport, FiredEvent
+
+__all__ = [
+    "ACTIONS",
+    "ChaosReport",
+    "FaultEvent",
+    "FaultPlan",
+    "FiredEvent",
+    "Injector",
+]

@@ -1,0 +1,180 @@
+"""Deterministic replay of a :class:`~repro.chaos.plan.FaultPlan`.
+
+The :class:`Injector` binds a plan to a live
+:class:`~repro.tsdb.ingest.TsdbCluster`: ``arm()`` validates every
+target against the cluster's actual components, then schedules each
+event (and each auto-derived recovery) on the cluster's simulator.
+Everything the injector does is recorded in a per-run
+:class:`~repro.chaos.report.ChaosReport` so tests can assert that the
+faults genuinely fired and measure how long each component was down.
+
+Replay is fully deterministic: event times come from the plan, and the
+only random elements — overload-burst payload values and the
+background :class:`~repro.cluster.failures.RandomCrashInjector`
+schedule — are seeded from ``plan.seed`` and the event's position in
+the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..cluster.failures import RandomCrashInjector
+from ..hbase.regionserver import RegionServer
+from ..tsdb.ingest import TsdbCluster
+from ..tsdb.tsd import DataPoint, TSDaemon
+from .plan import FaultEvent, FaultPlan
+from .report import ChaosReport
+
+__all__ = ["Injector"]
+
+
+class Injector:
+    """Schedules a fault plan's events against one cluster's simulator."""
+
+    def __init__(self, cluster: TsdbCluster, plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.report = ChaosReport(plan_name=plan.name)
+        self._tsds: Dict[str, TSDaemon] = {tsd.name: tsd for tsd in cluster.tsds}
+        self._servers: Dict[str, RegionServer] = {rs.name: rs for rs in cluster.servers}
+        self._hosts = {node.hostname for node in cluster.nodes}
+        self._crash_injectors: List[RandomCrashInjector] = []
+        self._armed = False
+        self.burst_points_offered = 0
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(self) -> ChaosReport:
+        """Validate targets and schedule every (expanded) plan event.
+
+        Events are scheduled relative to the current sim time; an event
+        whose ``at`` is already in the past fires immediately.  Returns
+        the (live) report for convenience.
+        """
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        sim = self.cluster.sim
+        for index, event in enumerate(self.plan.expanded()):
+            self._validate(event)
+            delay = max(0.0, event.at - sim.now)
+            sim.schedule(delay, self._fire, event, index)
+        return self.report
+
+    def _validate(self, event: FaultEvent) -> None:
+        if event.action in ("tsd_crash", "tsd_restart"):
+            if event.target not in self._tsds:
+                raise ValueError(f"unknown TSD {event.target!r}")
+        elif event.action in ("rs_crash", "rs_restart", "random_crashes"):
+            if event.target not in self._servers:
+                raise ValueError(f"unknown RegionServer {event.target!r}")
+        elif event.action in ("partition", "heal", "slow_link", "restore_link"):
+            if event.target not in self._hosts:
+                raise ValueError(f"unknown host {event.target!r}")
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def _fire(self, event: FaultEvent, index: int) -> None:
+        now = self.cluster.sim.now
+        action = event.action
+        if action == "tsd_crash":
+            self._tsds[event.target].crash()
+            self.report.mark_down(event.target, now)
+        elif action == "tsd_restart":
+            self._tsds[event.target].restart()
+            self.report.mark_up(event.target, now)
+        elif action == "rs_crash":
+            self._servers[event.target].crash()
+            self.report.mark_down(event.target, now)
+        elif action == "rs_restart":
+            self._servers[event.target].restart()
+            self.report.mark_up(event.target, now)
+        elif action == "partition":
+            self.cluster.network.partition(event.target)
+            self.report.mark_down(event.target, now)
+        elif action == "heal":
+            self.cluster.network.heal(event.target)
+            self.report.mark_up(event.target, now)
+        elif action == "slow_link":
+            # Degraded, not down: recorded as fired but not as downtime.
+            self.cluster.network.slow_host(event.target, event.factor)
+        elif action == "restore_link":
+            self.cluster.network.restore_host(event.target)
+        elif action == "overload_burst":
+            self._start_burst(event, index)
+        elif action == "random_crashes":
+            self._start_random_crashes(event, index)
+        self.report.record(now, action, event.target)
+
+    # ------------------------------------------------------------------
+    # composite faults
+    # ------------------------------------------------------------------
+    def _start_burst(self, event: FaultEvent, index: int) -> None:
+        """Inject ``event.points`` synthetic points through the ingress.
+
+        Batches are spread evenly over ``event.duration`` (all at once
+        when no duration is given); payload values derive from
+        ``(plan.seed, index)`` so reruns are bit-identical.
+        """
+        rng = np.random.default_rng([self.plan.seed, index])
+        n_batches = -(-event.points // event.batch_size)  # ceil
+        interval = (event.duration / n_batches) if event.duration else 0.0
+        remaining = event.points
+        for j in range(n_batches):
+            size = min(event.batch_size, remaining)
+            remaining -= size
+            batch = [
+                DataPoint.make(
+                    "chaos.burst",
+                    1_000_000 + index * 1_000_000 + j * event.batch_size + k,
+                    float(rng.standard_normal()),
+                    {"burst": f"b{index:02d}"},
+                )
+                for k in range(size)
+            ]
+            self.cluster.sim.schedule(j * interval, self._submit_burst, batch)
+
+    def _submit_burst(self, batch: List[DataPoint]) -> None:
+        self.burst_points_offered += len(batch)
+        # Fire-and-forget: burst points are load, not accounted payload.
+        self.cluster.submit(batch, on_ack=None)
+
+    def _start_random_crashes(self, event: FaultEvent, index: int) -> None:
+        server = self._servers[event.target]
+        target = event.target
+
+        def crash() -> None:
+            server.crash()
+            self.report.mark_down(target, self.cluster.sim.now)
+            self.report.record(self.cluster.sim.now, "rs_crash", target)
+
+        def restart() -> None:
+            server.restart()
+            self.report.mark_up(target, self.cluster.sim.now)
+            self.report.record(self.cluster.sim.now, "rs_restart", target)
+
+        injector = RandomCrashInjector(
+            self.cluster.sim,
+            crash=crash,
+            restart=restart,
+            mtbf=event.mtbf,
+            mttr=event.mttr,
+            seed=self.plan.seed + index,
+        )
+        self._crash_injectors.append(injector)
+        injector.arm()
+        if event.duration is not None:
+            self.cluster.sim.schedule(event.duration, injector.disarm)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> ChaosReport:
+        """Disarm background injectors, close open outages, return the report."""
+        for injector in self._crash_injectors:
+            injector.disarm()
+        self.report.close(self.cluster.sim.now)
+        return self.report

@@ -69,6 +69,7 @@ class Network:
         self.sim = sim
         self.latency = latency if latency is not None else LatencyModel()
         self._partitioned: set[str] = set()
+        self._slowdowns: dict[str, float] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
 
@@ -82,6 +83,23 @@ class Network:
 
     def is_partitioned(self, host: str) -> bool:
         return host in self._partitioned
+
+    # ------------------------------------------------------------------
+    # degraded links (chaos: latency inflation without full partition)
+    # ------------------------------------------------------------------
+    def slow_host(self, host: str, factor: float) -> None:
+        """Inflate latency on every link touching ``host`` by ``factor``."""
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        self._slowdowns[host] = factor
+
+    def restore_host(self, host: str) -> None:
+        """Remove a latency inflation previously set by :meth:`slow_host`."""
+        self._slowdowns.pop(host, None)
+
+    def slowdown(self, host: str) -> float:
+        """Current latency multiplier for ``host`` (1.0 when healthy)."""
+        return self._slowdowns.get(host, 1.0)
 
     def send(
         self,
@@ -100,4 +118,6 @@ class Network:
             return None
         self.messages_sent += 1
         delay = self.latency.sample(src_host, dst_host)
+        if self._slowdowns:
+            delay *= max(self.slowdown(src_host), self.slowdown(dst_host))
         return self.sim.schedule(delay, callback, *args)

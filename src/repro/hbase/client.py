@@ -49,10 +49,13 @@ class HTableClient:
         max_retries: int = 8,
         backoff_base: float = 0.02,
         backoff_mult: float = 2.0,
+        rpc_timeout: Optional[float] = 2.0,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if rpc_timeout is not None and rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive (or None)")
         self.sim = sim
         self.network = network
         self.master = master
@@ -60,6 +63,7 @@ class HTableClient:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_mult = backoff_mult
+        self.rpc_timeout = rpc_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
@@ -108,8 +112,24 @@ class HTableClient:
             return
         server = self.master.server(server_name)
         request = PutRequest(table, cells)
+        # One attempt resolves exactly once: first of {reply, timeout,
+        # dropped send} wins; a late reply after a timeout is ignored
+        # (the retry chain owns the cells from then on).
+        resolved = [False]
+        timeout_handle: List[Optional[object]] = [None]
 
-        def handle(reply: RpcReply) -> None:
+        def settle() -> bool:
+            if resolved[0]:
+                return False
+            resolved[0] = True
+            handle = timeout_handle[0]
+            if handle is not None:
+                handle.cancel()  # type: ignore[attr-defined]
+            return True
+
+        def handle_reply(reply: RpcReply) -> None:
+            if not settle():
+                return
             if reply.ok:
                 self.metrics.counter("client.put_ok").inc(len(cells))
                 if on_done is not None:
@@ -119,7 +139,25 @@ class HTableClient:
             else:
                 self._fail_put(cells, on_done)
 
-        self.network.send(self.host, server.node.hostname, server.rpc, request, handle, self.host)
+        def handle_timeout() -> None:
+            # Crashed server never replied / partition ate the reply.
+            if not settle():
+                return
+            self.metrics.counter("client.rpc_timeouts").inc()
+            self._retry_put(table, cells, attempt, on_done)
+
+        sent = self.network.send(
+            self.host, server.node.hostname, server.rpc, request, handle_reply, self.host
+        )
+        if sent is None:
+            # The network dropped the send (partitioned endpoint): fail
+            # fast into the retry path instead of hanging forever.
+            if settle():
+                self.metrics.counter("client.sends_dropped").inc()
+                self._retry_put(table, cells, attempt, on_done)
+            return
+        if self.rpc_timeout is not None:
+            timeout_handle[0] = self.sim.schedule(self.rpc_timeout, handle_timeout)
 
     def _retry_put(
         self,
@@ -188,10 +226,19 @@ class HTableClient:
             else:
                 on_done(None)
 
-        self.network.send(
+        sent = self.network.send(
             self.host, server.node.hostname, server.rpc,
             GetRequest(table, row, qualifier), handle, self.host,
         )
+        if sent is None:
+            # Partitioned endpoint: retry (bounded) rather than hanging.
+            if attempt < self.max_retries:
+                delay = self.backoff_base * (self.backoff_mult ** attempt)
+                self.sim.schedule(
+                    delay, self._send_get, table, row, qualifier, attempt + 1, on_done
+                )
+            else:
+                on_done(None)
 
     def scan(
         self,
@@ -225,6 +272,10 @@ class HTableClient:
         request = ScanRequest(table, start_row, end_row)
         for name in servers:
             server = self.master.server(name)
-            self.network.send(
+            sent = self.network.send(
                 self.host, server.node.hostname, server.rpc, request, handle, self.host
             )
+            if sent is None:
+                # Partitioned server contributes no cells; resolve its
+                # share so the merge still completes.
+                handle(RpcReply.failure("partitioned", name))

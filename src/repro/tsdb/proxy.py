@@ -1,15 +1,31 @@
 """Buffering reverse proxy in front of the TSD daemons.
 
 Reproduces the component the paper built after RegionServers "crashed
-frequently due to overloaded RPC queues":
+frequently due to overloaded RPC queues", hardened for component
+failure (the half of §III-B the happy-path reproduction left out):
 
 * **Backpressure** — at most ``max_in_flight`` put batches are
   outstanding at once; excess batches wait in an internal buffer rather
   than piling onto TSD/RegionServer queues.
-* **Load balancing** — buffered batches are dispatched to the TSD
-  daemons round-robin, so ingestion scales horizontally across nodes.
-* **Retry** — a batch rejected by one TSD (its inbound queue is full)
-  is requeued and later retried on the next TSD in rotation.
+* **Load balancing with liveness** — buffered batches are dispatched to
+  the TSD daemons round-robin, skipping daemons whose node is down or
+  whose process has crashed.
+* **Circuit breaking** — consecutive failures against one TSD eject it
+  from the rotation (*open*); after ``eject_duration`` a single
+  *half-open* probe batch tests it, and a success closes the breaker.
+  If every breaker is open the proxy falls back to treating all live
+  TSDs as candidates rather than deadlocking (*all-open fallback*).
+* **Bounded retry with backoff** — a bounced, timed-out, or partially
+  written batch is retried with exponential backoff and deterministic
+  (seeded) jitter, up to ``max_batch_retries`` attempts; exhausted
+  batches resolve to a *permanent-failure* ack instead of silently
+  recirculating forever.
+* **Partial-batch retry** — a batch acked with ``0 < written <
+  len(points)`` resubmits only its unwritten tail, so durably written
+  points are neither dropped (the old behaviour) nor re-sent.
+* **Ack timeouts** — a dispatch with no ack after ``ack_timeout``
+  (crashed TSD swallowed it, partition dropped it) is treated as a
+  failure and retried; a late ack for a timed-out dispatch is ignored.
 
 The E7 ablation compares this against a fire-and-forget path
 (:class:`DirectSubmitter`) which reproduces the crash behaviour.
@@ -18,20 +34,148 @@ The E7 ablation compares this against a fire-and-forget path
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, List, Optional, Sequence
+
+import numpy as np
 
 from ..cluster.metrics import MetricsRegistry
 from ..cluster.network import Network
-from ..cluster.simulation import Simulator
+from ..cluster.simulation import EventHandle, Simulator
 from .tsd import DataPoint, PutAck, TSDaemon
 
-__all__ = ["ReverseProxy", "DirectSubmitter"]
+__all__ = ["ReverseProxy", "DirectSubmitter", "TsdBreaker"]
 
 AckCallback = Callable[[PutAck], None]
 
+#: Sentinel "tsd" name on a permanent-failure ack synthesized by the proxy.
+PROXY_EXHAUSTED = "proxy-exhausted"
+
+
+class TsdBreaker:
+    """Per-TSD circuit breaker: closed → open → half-open → closed.
+
+    ``record_failure`` counts consecutive failures; at
+    ``failure_threshold`` the breaker opens (the TSD leaves the
+    rotation) for ``eject_duration`` seconds.  After that, ``available``
+    admits exactly one half-open probe dispatch; its outcome either
+    closes the breaker or re-opens it for another full ejection period.
+    """
+
+    __slots__ = ("failure_threshold", "eject_duration", "consecutive_failures",
+                 "state", "opened_at", "probe_in_flight", "ejections")
+
+    def __init__(self, failure_threshold: int, eject_duration: float) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if eject_duration <= 0:
+            raise ValueError("eject_duration must be positive")
+        self.failure_threshold = failure_threshold
+        self.eject_duration = eject_duration
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+        self.ejections = 0
+
+    def available(self, now: float) -> bool:
+        """May a dispatch be routed here right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            return now - self.opened_at >= self.eject_duration
+        return not self.probe_in_flight  # half-open: one probe at a time
+
+    def on_dispatch(self, now: float) -> None:
+        """Note that a dispatch was routed here (may start a probe)."""
+        if self.state == "open" and now - self.opened_at >= self.eject_duration:
+            self.state = "half-open"
+            self.probe_in_flight = True
+        elif self.state == "half-open":
+            self.probe_in_flight = True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self.probe_in_flight = False
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self.opened_at = now
+            self.ejections += 1
+        self.probe_in_flight = False
+
+    @property
+    def open(self) -> bool:
+        return self.state == "open"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TsdBreaker {self.state} fails={self.consecutive_failures}>"
+
+
+class _BatchState:
+    """One submitted batch's delivery lifecycle across retries.
+
+    ``remaining`` is the unwritten tail still owed to storage;
+    ``written`` accumulates durably acknowledged points across partial
+    acks.  Per-batch conservation: at final ack time,
+    ``written + failed == len(original points)``.
+    """
+
+    __slots__ = ("remaining", "on_ack", "attempts", "written", "submitted_at")
+
+    def __init__(
+        self, points: List[DataPoint], on_ack: Optional[AckCallback], submitted_at: float
+    ) -> None:
+        self.remaining = points
+        self.on_ack = on_ack
+        self.attempts = 0
+        self.written = 0
+        self.submitted_at = submitted_at
+
+
+class _Dispatch:
+    """One wire-level attempt of a batch; guards against double resolution."""
+
+    __slots__ = ("state", "tsd_index", "sent", "resolved", "timeout_handle")
+
+    def __init__(self, state: _BatchState, tsd_index: int, sent: int) -> None:
+        self.state = state
+        self.tsd_index = tsd_index
+        self.sent = sent
+        self.resolved = False
+        self.timeout_handle: Optional[EventHandle] = None
+
 
 class ReverseProxy:
-    """Round-robin, bounded-in-flight buffer in front of the TSDs."""
+    """Health-aware, bounded-in-flight buffer in front of the TSDs.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Outstanding dispatch window (backpressure bound).
+    retry_delay:
+        Base of the exponential retry backoff (attempt ``k`` waits
+        ``retry_delay * backoff_mult**k``, jittered, capped at
+        ``max_backoff``).
+    max_batch_retries:
+        Retry budget per batch; exhaustion resolves the batch to a
+        permanent-failure ack instead of recirculating it forever.
+    failure_threshold / eject_duration:
+        Circuit-breaker tuning: consecutive failures that open a TSD's
+        breaker, and how long it stays ejected before a half-open
+        probe.  ``failure_threshold=None`` disables the breakers.
+    ack_timeout:
+        Seconds a dispatch may await its ack before being declared lost
+        and retried.  ``None`` disables timeouts (a crashed TSD then
+        wedges the window — the pre-hardening behaviour).
+    seed:
+        Seeds the jitter RNG so retry schedules are deterministic.
+    """
 
     def __init__(
         self,
@@ -41,32 +185,60 @@ class ReverseProxy:
         host: str = "proxy",
         max_in_flight: int = 64,
         retry_delay: float = 0.05,
+        backoff_mult: float = 2.0,
+        max_backoff: float = 1.0,
+        max_batch_retries: int = 12,
+        failure_threshold: Optional[int] = 3,
+        eject_duration: float = 0.5,
+        ack_timeout: Optional[float] = 5.0,
+        seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not tsds:
             raise ValueError("proxy needs at least one TSD")
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
+        if max_batch_retries < 0:
+            raise ValueError("max_batch_retries must be >= 0")
+        if ack_timeout is not None and ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive (or None)")
         self.sim = sim
         self.network = network
         self.tsds = list(tsds)
         self.host = host
         self.max_in_flight = max_in_flight
         self.retry_delay = retry_delay
+        self.backoff_mult = backoff_mult
+        self.max_backoff = max_backoff
+        self.max_batch_retries = max_batch_retries
+        self.ack_timeout = ack_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._buffer: Deque[Tuple[List[DataPoint], Optional[AckCallback]]] = deque()
+        self._rng = np.random.default_rng(seed)
+        self.breakers: Optional[List[TsdBreaker]] = (
+            [TsdBreaker(failure_threshold, eject_duration) for _ in tsds]
+            if failure_threshold is not None
+            else None
+        )
+        self._buffer: Deque[_BatchState] = deque()
         self._in_flight = 0
         self._rr = 0
         self.buffer_high_water = 0
         self.dispatched = 0
         self.retried = 0
+        self.partial_retries = 0
+        self.ack_timeouts = 0
+        self.failed_batches = 0
+        self.failed_points = 0
 
     # ------------------------------------------------------------------
     # ingress
     # ------------------------------------------------------------------
     def submit(self, points: List[DataPoint], on_ack: Optional[AckCallback] = None) -> None:
         """Accept a put batch; buffered if the in-flight window is full."""
-        self._buffer.append((points, on_ack))
+        self._enqueue(_BatchState(points, on_ack, self.sim.now))
+
+    def _enqueue(self, state: _BatchState) -> None:
+        self._buffer.append(state)
         self.buffer_high_water = max(self.buffer_high_water, len(self._buffer))
         self._drain()
 
@@ -78,37 +250,163 @@ class ReverseProxy:
     def in_flight(self) -> int:
         return self._in_flight
 
+    def breaker_ejections(self) -> int:
+        """Total times any TSD was ejected from the rotation."""
+        if self.breakers is None:
+            return 0
+        return sum(b.ejections for b in self.breakers)
+
     # ------------------------------------------------------------------
     # dispatch loop
     # ------------------------------------------------------------------
     def _drain(self) -> None:
         while self._buffer and self._in_flight < self.max_in_flight:
-            points, on_ack = self._buffer.popleft()
-            self._dispatch(points, on_ack)
+            self._dispatch(self._buffer.popleft())
 
-    def _next_tsd(self) -> TSDaemon:
-        tsd = self.tsds[self._rr % len(self.tsds)]
-        self._rr += 1
-        return tsd
+    def _alive(self, tsd: TSDaemon) -> bool:
+        return tsd.node.up and not tsd.crashed
 
-    def _dispatch(self, points: List[DataPoint], on_ack: Optional[AckCallback]) -> None:
-        tsd = self._next_tsd()
+    def _select_tsd(self) -> Optional[int]:
+        """Next healthy TSD index: round-robin over live, breaker-admitted TSDs.
+
+        Falls back to ignoring breaker state when every live TSD's
+        breaker is open (all-open fallback), and returns ``None`` only
+        when no TSD is alive at all.
+        """
+        n = len(self.tsds)
+        now = self.sim.now
+        fallback: Optional[int] = None
+        for offset in range(n):
+            idx = (self._rr + offset) % n
+            tsd = self.tsds[idx]
+            if not self._alive(tsd):
+                continue
+            if fallback is None:
+                fallback = idx
+            if self.breakers is not None and not self.breakers[idx].available(now):
+                continue
+            self._rr = idx + 1
+            return idx
+        if fallback is not None:
+            self.metrics.counter("proxy.all_open_fallback").inc()
+            self._rr = fallback + 1
+            return fallback
+        return None
+
+    def _dispatch(self, state: _BatchState) -> None:
+        idx = self._select_tsd()
+        if idx is None:
+            # Nothing alive to talk to: back off and retry (bounded).
+            self._retry_later(state)
+            return
+        tsd = self.tsds[idx]
+        if self.breakers is not None:
+            self.breakers[idx].on_dispatch(self.sim.now)
+        dispatch = _Dispatch(state, idx, len(state.remaining))
         self._in_flight += 1
         self.dispatched += 1
+        if self.ack_timeout is not None:
+            dispatch.timeout_handle = self.sim.schedule(
+                self.ack_timeout, self._on_timeout, dispatch
+            )
+        handle = self.network.send(
+            self.host,
+            tsd.node.hostname,
+            tsd.put_batch,
+            state.remaining,
+            lambda ack: self._on_tsd_ack(dispatch, ack),
+            self.host,
+        )
+        if handle is None:
+            # The network dropped the send (partition): fail fast rather
+            # than waiting out the ack timeout.  No _drain() here — this
+            # runs inside the _drain loop, which continues on its own.
+            self._settle(dispatch)
+            if self.breakers is not None:
+                self.breakers[idx].record_failure(self.sim.now)
+            self._retry_later(state)
 
-        def handle(ack: PutAck) -> None:
-            self._in_flight -= 1
-            if not ack.ok and ack.written == 0:
-                # Whole batch bounced (TSD queue full): requeue for a
-                # different TSD after a pause, without consuming window.
-                self.retried += 1
-                self.metrics.counter("proxy.retries").inc()
-                self.sim.schedule(self.retry_delay, self.submit, points, on_ack)
-            elif on_ack is not None:
-                on_ack(ack)
-            self._drain()
+    # ------------------------------------------------------------------
+    # ack / failure handling
+    # ------------------------------------------------------------------
+    def _on_tsd_ack(self, dispatch: _Dispatch, ack: PutAck) -> None:
+        if dispatch.resolved:
+            self.metrics.counter("proxy.late_acks").inc()
+            return
+        self._settle(dispatch)
+        state = dispatch.state
+        if ack.written >= dispatch.sent:
+            # Fully written: the batch is done.
+            if self.breakers is not None:
+                self.breakers[dispatch.tsd_index].record_success()
+            state.written += ack.written
+            self._finish(state, ok=True, tsd=ack.tsd)
+        elif ack.written > 0:
+            # Partial write: keep the durable prefix, resubmit only the
+            # unwritten tail (the old proxy silently dropped it).
+            if self.breakers is not None:
+                self.breakers[dispatch.tsd_index].record_success()
+            state.written += ack.written
+            state.remaining = state.remaining[ack.written:]
+            self.partial_retries += 1
+            self.metrics.counter("proxy.partial_retries").inc()
+            self._retry_later(state)
+        else:
+            # Whole batch bounced (TSD queue full / stopped).
+            if self.breakers is not None:
+                self.breakers[dispatch.tsd_index].record_failure(self.sim.now)
+            self._retry_later(state)
+        self._drain()
 
-        self.network.send(self.host, tsd.node.hostname, tsd.put_batch, points, handle, self.host)
+    def _on_timeout(self, dispatch: _Dispatch) -> None:
+        """No ack within ``ack_timeout``: the batch was swallowed or dropped."""
+        if dispatch.resolved:
+            return
+        self._settle(dispatch)
+        self.ack_timeouts += 1
+        self.metrics.counter("proxy.ack_timeouts").inc()
+        if self.breakers is not None:
+            self.breakers[dispatch.tsd_index].record_failure(self.sim.now)
+        self._retry_later(dispatch.state)
+        self._drain()
+
+    def _settle(self, dispatch: _Dispatch) -> None:
+        dispatch.resolved = True
+        self._in_flight -= 1
+        if dispatch.timeout_handle is not None:
+            dispatch.timeout_handle.cancel()
+            dispatch.timeout_handle = None
+
+    def _retry_later(self, state: _BatchState) -> None:
+        """Requeue after jittered exponential backoff, within the budget."""
+        if state.attempts >= self.max_batch_retries:
+            self.failed_batches += 1
+            self.failed_points += len(state.remaining)
+            self.metrics.counter("proxy.failed_points").inc(len(state.remaining))
+            self._finish(state, ok=False, tsd=PROXY_EXHAUSTED)
+            return
+        delay = min(
+            self.max_backoff,
+            self.retry_delay * (self.backoff_mult ** state.attempts),
+        )
+        # Deterministic jitter in [0.5, 1.0): decorrelates retry storms
+        # while keeping runs reproducible per proxy seed.
+        delay *= 0.5 + 0.5 * float(self._rng.random())
+        state.attempts += 1
+        self.retried += 1
+        self.metrics.counter("proxy.retries").inc()
+        self.sim.schedule(delay, self._enqueue, state)
+
+    def _finish(self, state: _BatchState, ok: bool, tsd: str) -> None:
+        """Deliver the batch's single aggregate ack to the submitter."""
+        # End-to-end ack latency: submit() to final aggregate ack,
+        # spanning any retries/timeouts in between.
+        self.metrics.histogram("proxy.ack_latency").observe(
+            self.sim.now - state.submitted_at
+        )
+        failed = 0 if ok else len(state.remaining)
+        if state.on_ack is not None:
+            state.on_ack(PutAck(ok and failed == 0, state.written, failed, tsd))
 
 
 class DirectSubmitter:

@@ -14,9 +14,17 @@ benchmarks exercise — while keeping the *driver* side honest too:
   be awaiting durable acknowledgement; past that the publisher steps
   the discrete-event simulator until acks free the window, so the
   producing pipeline cannot run ahead of the storage tier.
-* **Ack/retry tracking** — durable acks are counted point-by-point and
-  proxy retries are attributed to this publisher's lifetime, all
-  mirrored into a :class:`~repro.cluster.metrics.MetricsRegistry`.
+* **Ack deadlines + dead-letter ledger** — every submitted batch
+  carries a deadline; a batch with no ack by then (a crashed TSD
+  swallowed it) is retransmitted up to ``max_retransmits`` times and
+  then *dead-lettered*: its points are recorded on the publisher's
+  :attr:`~BatchPublisher.dead_letter` ledger and counted in the
+  report, never silently lost.  Retransmission makes delivery
+  at-least-once; storage dedupes via newest-write-wins cells.
+* **Delivery conservation** — :meth:`PublishReport.check_conservation`
+  enforces that every submitted point is accounted exactly once:
+  ``points_submitted == points_written + points_failed +
+  points_dead_lettered``.  ``flush`` verifies it on every run.
 
 A ``use_proxy_path=False`` publisher falls back to the bulk
 :meth:`~TsdbCluster.direct_put` load (identical stored cells, no
@@ -27,14 +35,45 @@ the two paths land the same data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.raceaudit import assert_holds, audited_lock
 from ..cluster.metrics import MetricsRegistry
+from ..cluster.simulation import EventHandle
 from .ingest import TsdbCluster
 from .tsd import DataPoint, PutAck
 
-__all__ = ["BatchPublisher", "PublishReport"]
+__all__ = [
+    "BatchPublisher",
+    "DeliveryAccountingError",
+    "PublishReport",
+    "PublishStalledError",
+]
+
+
+class DeliveryAccountingError(RuntimeError):
+    """The delivery conservation invariant was violated (a point was
+    double-counted or lost without being written, failed, or
+    dead-lettered)."""
+
+
+class PublishStalledError(RuntimeError):
+    """The simulator drained with acks still pending.
+
+    Raised by :meth:`BatchPublisher.flush` instead of quietly returning
+    a report whose ``complete`` is false.  ``pending`` carries the
+    stalled ledger: ``(batch_size, attempts)`` per unresolved batch.
+    """
+
+    def __init__(self, report: "PublishReport", pending: List[Tuple[int, int]]) -> None:
+        self.report = report
+        self.pending = pending
+        points = sum(n for n, _ in pending)
+        super().__init__(
+            f"publish stalled: {len(pending)} batch(es) / {points} point(s) "
+            "still awaiting acks after the simulator drained "
+            "(enable ack_deadline to convert stalls into dead letters)"
+        )
 
 
 @dataclass
@@ -44,10 +83,14 @@ class PublishReport:
     ``mode`` is ``"proxy"`` (through :meth:`TsdbCluster.submit`) or
     ``"direct"`` (bulk-loaded via :meth:`TsdbCluster.direct_put`).
     ``points_written`` counts durably acknowledged cells;
-    ``retries`` counts proxy re-dispatches of bounced batches during
-    this publisher's lifetime; ``pending_unresolved`` is non-zero only
-    if the simulator drained without resolving every ack (a cluster
-    wedged hard enough that retries stopped being scheduled).
+    ``points_failed`` counts points the ingress reported permanently
+    failed; ``points_dead_lettered`` counts points whose acks never
+    arrived within the deadline/retransmit budget; ``retries`` counts
+    proxy re-dispatches of bounced batches during this publisher's
+    lifetime; ``retransmits`` counts publisher-level deadline
+    retransmissions.  ``pending_unresolved`` is always zero on a
+    report returned by ``flush`` (a stall raises
+    :class:`PublishStalledError` instead).
     """
 
     mode: str
@@ -56,7 +99,10 @@ class PublishReport:
     batches_acked: int = 0
     points_written: int = 0
     points_failed: int = 0
+    points_dead_lettered: int = 0
+    batches_dead_lettered: int = 0
     retries: int = 0
+    retransmits: int = 0
     max_pending: int = 0
     pending_unresolved: int = 0
 
@@ -64,6 +110,38 @@ class PublishReport:
     def complete(self) -> bool:
         """True when every submitted batch resolved to an ack."""
         return self.pending_unresolved == 0
+
+    @property
+    def points_accounted(self) -> int:
+        """Points with a definite fate: written, failed, or dead-lettered."""
+        return self.points_written + self.points_failed + self.points_dead_lettered
+
+    @property
+    def conservation_ok(self) -> bool:
+        """Every submitted point accounted exactly once."""
+        return self.points_submitted == self.points_accounted
+
+    def check_conservation(self) -> None:
+        """Raise :class:`DeliveryAccountingError` unless every point is
+        accounted exactly once (the ingest tier's delivery invariant)."""
+        if not self.conservation_ok:
+            raise DeliveryAccountingError(
+                f"delivery accounting violated: submitted={self.points_submitted} "
+                f"!= written={self.points_written} + failed={self.points_failed} "
+                f"+ dead_lettered={self.points_dead_lettered}"
+            )
+
+
+class _PendingBatch:
+    """Ledger entry for one submitted-but-unacked batch."""
+
+    __slots__ = ("points", "attempts", "resolved", "deadline_handle")
+
+    def __init__(self, points: List[DataPoint]) -> None:
+        self.points = points
+        self.attempts = 0
+        self.resolved = False
+        self.deadline_handle: Optional[EventHandle] = None
 
 
 class BatchPublisher:
@@ -82,10 +160,20 @@ class BatchPublisher:
         ``True`` routes through ``cluster.submit()`` (the reverse
         proxy / direct submitter, with simulated RPC and durable acks);
         ``False`` falls back to ``cluster.direct_put()`` bulk loads.
+    ack_deadline:
+        Sim-seconds a batch may await its durable ack before being
+        retransmitted; after ``max_retransmits`` retransmissions it is
+        dead-lettered.  ``None`` disables deadlines (a swallowed batch
+        then stalls ``flush``, which raises
+        :class:`PublishStalledError`).
+    max_retransmits:
+        Deadline-triggered retransmissions per batch before it goes to
+        the dead-letter ledger.
     metrics:
         Registry receiving ``<channel>.batches`` / ``.acks`` /
-        ``.points_written`` / ``.points_failed`` / ``.retries``
-        counters and the ``<channel>.max_pending`` gauge.
+        ``.points_written`` / ``.points_failed`` / ``.retries`` /
+        ``.retransmits`` / ``.dead_lettered`` counters and the
+        ``<channel>.max_pending`` gauge.
     channel:
         Metric-name prefix, so independent publishers (e.g. sensor
         data vs anomaly flags) stay separately accounted.
@@ -98,6 +186,8 @@ class BatchPublisher:
         batch_size: int = 500,
         max_in_flight_batches: int = 32,
         use_proxy_path: bool = True,
+        ack_deadline: Optional[float] = 30.0,
+        max_retransmits: int = 2,
         metrics: Optional[MetricsRegistry] = None,
         channel: str = "publish",
     ) -> None:
@@ -105,18 +195,28 @@ class BatchPublisher:
             raise ValueError("batch_size must be >= 1")
         if max_in_flight_batches < 1:
             raise ValueError("max_in_flight_batches must be >= 1")
+        if ack_deadline is not None and ack_deadline <= 0:
+            raise ValueError("ack_deadline must be positive (or None)")
+        if max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
         self.cluster = cluster
         self.batch_size = batch_size
         self.max_in_flight_batches = max_in_flight_batches
         self.use_proxy_path = use_proxy_path
+        self.ack_deadline = ack_deadline
+        self.max_retransmits = max_retransmits
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.channel = channel
         self.report = PublishReport(mode="proxy" if use_proxy_path else "direct")
+        #: Dead-letter ledger: batches whose acks never arrived in budget.
+        self.dead_letter: List[List[DataPoint]] = []
         self._batch: List[DataPoint] = []
         # Ack state is mutated by _on_ack callbacks fired from simulator
         # steps as well as by the submitting driver code.
         self._state_lock = audited_lock("tsdb.publish.state")
         self._pending = 0  # guarded-by: _state_lock
+        self._ledger: Dict[int, _PendingBatch] = {}  # guarded-by: _state_lock
+        self._next_token = 0
         self._closed = False
         self._retries_at_start = cluster.metrics.counter("proxy.retries").get()
 
@@ -144,7 +244,14 @@ class BatchPublisher:
     # drain
     # ------------------------------------------------------------------
     def flush(self) -> PublishReport:
-        """Submit the tail batch, await every ack, and return the report."""
+        """Submit the tail batch, await every ack, and return the report.
+
+        Raises :class:`PublishStalledError` if the simulator drains
+        with acks still pending (only possible with ``ack_deadline``
+        disabled — deadlines convert stalls into dead letters), and
+        :class:`DeliveryAccountingError` if the conservation invariant
+        is violated.
+        """
         if self._closed:
             return self.report
         if self._batch:
@@ -155,11 +262,20 @@ class BatchPublisher:
             pass
         self._closed = True
         rep = self.report
-        rep.pending_unresolved = self.pending_batches
+        with self._state_lock:
+            stalled = [
+                (len(entry.points), entry.attempts)
+                for entry in self._ledger.values()
+                if not entry.resolved
+            ]
+        rep.pending_unresolved = len(stalled)
         rep.retries = int(
             self.cluster.metrics.counter("proxy.retries").get() - self._retries_at_start
         )
         self.metrics.counter(f"{self.channel}.retries").inc(rep.retries)
+        if stalled:
+            raise PublishStalledError(rep, stalled)
+        rep.check_conservation()
         return rep
 
     # ------------------------------------------------------------------
@@ -176,20 +292,73 @@ class BatchPublisher:
             self.metrics.counter(f"{self.channel}.acks").inc()
             self.metrics.counter(f"{self.channel}.points_written").inc(written)
             return
+        entry = _PendingBatch(batch)
         with self._state_lock:
+            token = self._next_token
+            self._next_token += 1
+            self._ledger[token] = entry
             self._pending += 1
             rep.max_pending = max(rep.max_pending, self._pending)
             self.metrics.gauge(f"{self.channel}.max_pending").set(self._pending)
-        self.cluster.submit(batch, self._on_ack)
+        self._transmit(token, entry)
         # Backpressure: step the cluster simulation until the in-flight
         # window has room again, so the producer cannot outrun storage.
         sim = self.cluster.sim
         while self.pending_batches >= self.max_in_flight_batches and sim.step():
             pass
 
-    def _on_ack(self, ack: PutAck) -> None:
+    def _transmit(self, token: int, entry: _PendingBatch) -> None:
+        """Send one (re)transmission of a ledger entry and arm its deadline."""
+        if self.ack_deadline is not None:
+            entry.deadline_handle = self.cluster.sim.schedule(
+                self.ack_deadline, self._on_deadline, token
+            )
+        self.cluster.submit(entry.points, lambda ack: self._on_ack(token, ack))
+
+    def _on_ack(self, token: int, ack: PutAck) -> None:
         with self._state_lock:
+            entry = self._ledger.get(token)
+            if entry is None or entry.resolved:
+                # Ack for a batch already retransmitted-and-resolved or
+                # dead-lettered: count it once only (at-least-once
+                # delivery; storage dedupes duplicate cells).
+                self.metrics.counter(f"{self.channel}.late_acks").inc()
+                return
+            self._resolve(entry)
             self._record_ack(ack)
+
+    def _on_deadline(self, token: int) -> None:
+        with self._state_lock:
+            entry = self._ledger.get(token)
+            if entry is None or entry.resolved:
+                return
+            if entry.attempts < self.max_retransmits:
+                entry.attempts += 1
+                self.report.retransmits += 1
+                self.metrics.counter(f"{self.channel}.retransmits").inc()
+                retransmit = True
+            else:
+                # Budget exhausted: to the dead-letter ledger, with the
+                # points preserved for later replay/inspection.
+                self._resolve(entry)
+                self.report.batches_dead_lettered += 1
+                self.report.points_dead_lettered += len(entry.points)
+                self.dead_letter.append(entry.points)
+                self._pending -= 1
+                self.metrics.counter(f"{self.channel}.dead_lettered").inc(
+                    len(entry.points)
+                )
+                retransmit = False
+        if retransmit:
+            self._transmit(token, entry)
+
+    def _resolve(self, entry: _PendingBatch) -> None:
+        """Mark a ledger entry settled; caller holds ``_state_lock``."""
+        assert_holds(self._state_lock)
+        entry.resolved = True
+        if entry.deadline_handle is not None:
+            entry.deadline_handle.cancel()
+            entry.deadline_handle = None
 
     def _record_ack(self, ack: PutAck) -> None:
         """Fold one durable ack into the report; caller holds ``_state_lock``."""

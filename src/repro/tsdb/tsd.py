@@ -148,6 +148,37 @@ class TSDaemon:
         self.points_received = 0
         self.points_written = 0
         self.points_failed = 0
+        self.crashed = False
+        self.batches_swallowed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (chaos hooks)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the daemon process: queued work is lost, nothing replies.
+
+        Unlike a queue-overflow rejection (which still sends a negative
+        ack), a crashed TSD is silent — in-flight batches are swallowed
+        and their acks never arrive, which is exactly the failure the
+        proxy's ack timeouts and the publisher's ack deadlines exist to
+        survive.  Buffered-but-unflushed cells die with the process.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.http_server.stop()
+        for timer in self._linger_timers.values():
+            timer.cancel()  # type: ignore[attr-defined]
+        self._linger_timers.clear()
+        self._buffers.clear()
+        self.metrics.counter("tsd.crashes").inc(label=self.name)
+
+    def restart(self) -> None:
+        """Bring the daemon back up with empty buffers."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.http_server.start()
 
     # ------------------------------------------------------------------
     # write path
@@ -159,6 +190,11 @@ class TSDaemon:
         src_host: str,
     ) -> None:
         """Accept a batch of points (async); ack routed back over the network."""
+        if self.crashed:
+            # Dead process: the batch vanishes without an ack.
+            self.batches_swallowed += 1
+            self.metrics.counter("tsd.batches_swallowed").inc(label=self.name)
+            return
         cost = self.service_model.batch_cost(len(points))
         accepted = self.http_server.submit(
             points,
@@ -252,6 +288,8 @@ class TSDaemon:
             self._flush_bucket(bucket)
 
     def _send_ack(self, reply_to: Callable[[PutAck], None], dst_host: str, ack: PutAck) -> None:
+        if self.crashed:
+            return  # a dead process sends nothing; the batch is swallowed
         self.network.send(self.node.hostname, dst_host, reply_to, ack)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,288 @@
+"""Chaos harness: fault plans, the injector, and end-to-end survival.
+
+The tier-1 contract of this suite is the last test class: a full
+``AnomalyPipeline`` run under a fault plan that crashes a TSD
+mid-publish and partitions a RegionServer host must finish with
+*every* point accounted (written, failed, or dead-lettered — zero
+unaccounted), while the hardening machinery (breaker ejections, ack
+timeouts, bounded retries) demonstrably engaged.
+"""
+
+import pytest
+
+from repro.chaos import ChaosReport, FaultEvent, FaultPlan, Injector
+from repro.core import AnomalyPipeline, PipelineConfig
+from repro.simdata import FleetConfig, FleetGenerator
+from repro.tsdb import build_cluster
+from repro.tsdb.tsd import DataPoint
+
+
+def small_cluster(**overrides):
+    defaults = dict(n_nodes=2, salt_buckets=4, retain_data=True)
+    defaults.update(overrides)
+    return build_cluster(**defaults)
+
+
+def points(n, t0=0):
+    return [
+        DataPoint.make("energy", t0 + i, float(i), {"unit": "u1", "sensor": f"s{i % 5}"})
+        for i in range(n)
+    ]
+
+
+class TestFaultPlan:
+    def test_recovery_is_derived_from_duration(self):
+        event = FaultEvent(at=1.0, action="tsd_crash", target="tsd00", duration=0.5)
+        rec = event.recovery
+        assert rec.action == "tsd_restart" and rec.target == "tsd00"
+        assert rec.at == pytest.approx(1.5)
+
+    def test_unbounded_outage_has_no_recovery(self):
+        assert FaultEvent(at=1.0, action="rs_crash", target="rs00").recovery is None
+
+    def test_expanded_is_time_sorted_with_recoveries(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=2.0, action="partition", target="node00", duration=1.0),
+                FaultEvent(at=0.5, action="tsd_crash", target="tsd01", duration=0.2),
+            )
+        )
+        expanded = plan.expanded()
+        assert [e.action for e in expanded] == [
+            "tsd_crash",
+            "tsd_restart",
+            "partition",
+            "heal",
+        ]
+        assert plan.horizon() == pytest.approx(3.0)
+        assert len(plan) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"at": -1.0, "action": "tsd_crash", "target": "tsd00"},
+            {"at": 0.0, "action": "explode", "target": "tsd00"},
+            {"at": 0.0, "action": "tsd_crash", "target": ""},
+            {"at": 0.0, "action": "tsd_crash", "target": "tsd00", "duration": 0.0},
+            {"at": 0.0, "action": "slow_link", "target": "node00", "factor": 0.5},
+            {"at": 0.0, "action": "overload_burst", "target": "", "points": 0},
+            {"at": 0.0, "action": "random_crashes", "target": "rs00"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultEvent(**kwargs)
+
+    def test_with_event_appends_immutably(self):
+        plan = FaultPlan(name="p")
+        grown = plan.with_event(FaultEvent(at=0.0, action="heal", target="node00"))
+        assert len(plan) == 0 and len(grown) == 1
+        assert grown.name == "p"
+
+
+class TestChaosReport:
+    def test_downtime_accumulates_closed_intervals(self):
+        rep = ChaosReport()
+        rep.mark_down("tsd00", 1.0)
+        rep.mark_up("tsd00", 1.5)
+        rep.mark_down("tsd00", 3.0)
+        rep.mark_up("tsd00", 3.25)
+        assert rep.downtime("tsd00") == pytest.approx(0.75)
+
+    def test_open_interval_counted_to_now_and_closed_by_close(self):
+        rep = ChaosReport()
+        rep.mark_down("rs01", 2.0)
+        assert rep.downtime("rs01", now=5.0) == pytest.approx(3.0)
+        assert rep.still_down() == ("rs01",)
+        rep.close(6.0)
+        assert rep.downtime("rs01") == pytest.approx(4.0)
+        assert rep.still_down() == ()
+
+    def test_mark_up_without_down_is_ignored(self):
+        rep = ChaosReport()
+        rep.mark_up("tsd00", 1.0)
+        assert rep.downtime("tsd00") == 0.0
+
+    def test_events_fired_filters_by_action(self):
+        rep = ChaosReport()
+        rep.record(0.1, "tsd_crash", "tsd00")
+        rep.record(0.2, "partition", "node01")
+        rep.record(0.3, "tsd_restart", "tsd00")
+        assert rep.events_fired() == 3
+        assert rep.events_fired("tsd_crash") == 1
+
+    def test_summary_mentions_events_and_downtime(self):
+        rep = ChaosReport(plan_name="demo")
+        rep.record(0.1, "tsd_crash", "tsd00")
+        rep.mark_down("tsd00", 0.1)
+        rep.close(0.6)
+        text = rep.summary()
+        assert "demo" in text and "tsd_crash" in text and "tsd00" in text
+
+
+class TestInjector:
+    def test_unknown_targets_rejected_at_arm_time(self):
+        cluster = small_cluster()
+        for action, target in [
+            ("tsd_crash", "tsd99"),
+            ("rs_crash", "rs99"),
+            ("partition", "node99"),
+            ("random_crashes", "rs99"),
+        ]:
+            kwargs = {"duration": 1.0} if action == "random_crashes" else {}
+            plan = FaultPlan(events=(FaultEvent(at=0.0, action=action, target=target, **kwargs),))
+            with pytest.raises(ValueError):
+                Injector(cluster, plan).arm()
+
+    def test_double_arm_rejected(self):
+        cluster = small_cluster()
+        injector = Injector(cluster, FaultPlan())
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_tsd_crash_and_auto_restart_fire(self):
+        cluster = small_cluster()
+        plan = FaultPlan(
+            events=(FaultEvent(at=0.1, action="tsd_crash", target="tsd00", duration=0.4),)
+        )
+        injector = Injector(cluster, plan)
+        injector.arm()
+        cluster.sim.run(until=0.2)
+        assert cluster.tsds[0].crashed
+        cluster.sim.run(until=1.0)
+        assert not cluster.tsds[0].crashed
+        rep = injector.finalize()
+        assert rep.events_fired("tsd_crash") == 1
+        assert rep.events_fired("tsd_restart") == 1
+        assert rep.downtime("tsd00") == pytest.approx(0.4)
+
+    def test_partition_and_slow_link_reach_the_network(self):
+        cluster = small_cluster()
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at=0.1, action="partition", target="node00", duration=0.2),
+                FaultEvent(at=0.1, action="slow_link", target="node01", factor=8.0, duration=0.2),
+            )
+        )
+        injector = Injector(cluster, plan)
+        injector.arm()
+        cluster.sim.run(until=0.15)
+        assert cluster.network.is_partitioned("node00")
+        assert cluster.network.slowdown("node01") == pytest.approx(8.0)
+        cluster.sim.run(until=0.5)
+        assert not cluster.network.is_partitioned("node00")
+        assert cluster.network.slowdown("node01") == pytest.approx(1.0)
+
+    def test_overload_burst_offers_the_requested_points(self):
+        cluster = small_cluster()
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    at=0.0, action="overload_burst", target="",
+                    points=230, batch_size=100, duration=0.3,
+                ),
+            )
+        )
+        injector = Injector(cluster, plan)
+        injector.arm()
+        cluster.sim.run()
+        assert injector.burst_points_offered == 230
+        total_received = sum(tsd.points_received for tsd in cluster.tsds)
+        assert total_received == 230
+
+    def test_random_crashes_fire_and_disarm(self):
+        cluster = small_cluster()
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    at=0.0, action="random_crashes", target="rs00",
+                    duration=5.0, mtbf=0.5, mttr=0.1,
+                ),
+            ),
+            seed=7,
+        )
+        injector = Injector(cluster, plan)
+        injector.arm()
+        cluster.sim.run(until=20.0)
+        rep = injector.finalize()
+        assert rep.events_fired("rs_crash") >= 1
+        assert rep.events_fired("rs_crash") == rep.events_fired("rs_restart")
+        assert rep.downtime("rs00") > 0.0
+        # Every crash happened inside the armed window.
+        crash_times = [e.at for e in rep.fired if e.action == "rs_crash"]
+        assert max(crash_times) <= 5.0 + 0.1
+
+    def test_replay_is_deterministic(self):
+        def run_once():
+            cluster = small_cluster()
+            plan = FaultPlan(
+                events=(
+                    FaultEvent(at=0.0, action="random_crashes", target="rs01",
+                               duration=3.0, mtbf=0.4, mttr=0.05),
+                    FaultEvent(at=0.2, action="tsd_crash", target="tsd00", duration=0.5),
+                ),
+                seed=13,
+            )
+            injector = Injector(cluster, plan)
+            injector.arm()
+            cluster.sim.run(until=10.0)
+            rep = injector.finalize()
+            return [(e.at, e.action, e.target) for e in rep.fired]
+
+        assert run_once() == run_once()
+
+
+class TestPipelineUnderChaos:
+    """The tier-1 end-to-end criterion: chaos with zero unaccounted points."""
+
+    def test_pipeline_survives_tsd_crash_and_partition(self):
+        generator = FleetGenerator(FleetConfig(n_units=3, n_sensors=6, seed=11))
+        cluster = small_cluster()
+        # One TSD crashes mid-publish and restarts; one RegionServer
+        # host drops off the network and heals.  Both land inside the
+        # publish drain (sim time only advances while flushing).
+        plan = FaultPlan(
+            name="tsd-crash-plus-partition",
+            events=(
+                FaultEvent(at=0.05, action="tsd_crash", target="tsd00", duration=0.4),
+                FaultEvent(at=0.10, action="partition", target="node01", duration=0.5),
+            ),
+        )
+        injector = Injector(cluster, plan)
+        injector.arm()
+
+        pipeline = AnomalyPipeline(
+            generator,
+            cluster=cluster,
+            pipeline_config=PipelineConfig(
+                n_train=80, n_eval=120, publish_batch_size=100,
+                max_in_flight_batches=8, parallelism=1,
+            ),
+        )
+        result = pipeline.run()
+        chaos = injector.finalize()
+
+        # The injected faults genuinely fired...
+        assert chaos.events_fired("tsd_crash") == 1
+        assert chaos.events_fired("partition") == 1
+        assert chaos.downtime("tsd00") == pytest.approx(0.4)
+        assert chaos.downtime("node01") == pytest.approx(0.5)
+        # ...and the hardening machinery demonstrably engaged.
+        proxy = cluster.ingress
+        assert proxy.ack_timeouts >= 1
+        assert proxy.retried >= 1
+        assert proxy.breaker_ejections() >= 1
+
+        # Delivery accounting: zero unaccounted points on both channels.
+        for rep in (result.data_publish, result.anomaly_publish):
+            assert rep is not None
+            assert rep.complete
+            assert rep.conservation_ok
+            rep.check_conservation()
+            assert rep.points_submitted == (
+                rep.points_written + rep.points_failed + rep.points_dead_lettered
+            )
+        # The data channel carried real volume through the faults.
+        assert result.data_publish.points_submitted == 3 * 120 * 6
+        assert result.data_publish.points_written > 0

@@ -53,6 +53,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "durability holds" in out
 
+    def test_chaos_demo(self, capsys):
+        run_example("chaos_demo.py")
+        out = capsys.readouterr().out
+        assert "tsd_crash" in out and "partition" in out
+        assert "breaker ejections" in out
+        assert "conservation holds" in out
+
     # fleet_dashboard.py and ingestion_scaling.py run multi-minute
     # simulations; they are exercised by benchmarks/bench_dashboard.py
     # and the E1/E6/E7 benches respectively rather than here.

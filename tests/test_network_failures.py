@@ -67,6 +67,43 @@ class TestNetwork:
         assert seen == ["x"]
 
 
+class TestNetworkSlowdown:
+    def test_slow_host_inflates_latency(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base=0.01, jitter=0.0))
+        net.slow_host("b", 4.0)
+        seen = []
+        net.send("a", "b", lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(0.04)]
+
+    def test_restore_host_resets(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base=0.01, jitter=0.0))
+        net.slow_host("b", 4.0)
+        net.restore_host("b")
+        assert net.slowdown("b") == 1.0
+        seen = []
+        net.send("a", "b", lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(0.01)]
+
+    def test_worst_endpoint_slowdown_wins(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base=0.01, jitter=0.0))
+        net.slow_host("a", 2.0)
+        net.slow_host("b", 8.0)
+        seen = []
+        net.send("a", "b", lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(0.08)]
+
+    def test_factor_below_one_rejected(self):
+        net = Network(Simulator())
+        with pytest.raises(ValueError):
+            net.slow_host("a", 0.5)
+
+
 class TestOverflowCrashPolicy:
     def test_crashes_after_budget_exceeded(self):
         sim = Simulator()
@@ -122,6 +159,31 @@ class TestOverflowCrashPolicy:
         assert policy.crashed
         assert policy.record_rejection() is False
         assert policy.crash_count == 1
+
+    def test_crash_count_accumulates_across_cycles(self):
+        """A component can crash, restart, and crash again; the window
+        starts fresh after each crash (rejections cleared)."""
+        sim = Simulator()
+        events = []
+        policy = OverflowCrashPolicy(
+            sim,
+            on_crash=lambda: events.append(("crash", sim.now)),
+            on_restart=lambda: events.append(("restart", sim.now)),
+            reject_budget=1,
+            window=10.0,
+            restart_delay=1.0,
+        )
+        policy.record_rejection()
+        policy.record_rejection()  # first crash at t=0
+        sim.run()  # restart fires at t=1
+        assert not policy.crashed
+        # The pre-crash rejections were cleared: one rejection alone
+        # must not re-crash even though the 10s window still spans them.
+        assert policy.record_rejection() is False
+        assert policy.record_rejection() is True  # second crash
+        sim.run()
+        assert policy.crash_count == 2
+        assert [kind for kind, _ in events] == ["crash", "restart", "crash", "restart"]
 
     def test_invalid_params(self):
         sim = Simulator()
@@ -179,6 +241,42 @@ class TestRandomCrashInjector:
         seen = count[0]
         sim.run(until=20.0)
         assert count[0] <= seen + 1  # at most one already-scheduled firing
+
+    def test_full_schedule_deterministic_including_restarts(self):
+        """Both crash *and* restart times must replay bit-identically."""
+
+        def run():
+            sim = Simulator()
+            events = []
+            inj = RandomCrashInjector(
+                sim,
+                crash=lambda: events.append(("crash", sim.now)),
+                restart=lambda: events.append(("restart", sim.now)),
+                mtbf=0.8, mttr=0.2, seed=21,
+            )
+            inj.arm()
+            sim.run(until=15.0)
+            return events
+
+        first = run()
+        assert first == run()
+        assert any(kind == "restart" for kind, _ in first)
+
+    def test_rearm_after_disarm_resumes_injection(self):
+        sim = Simulator()
+        count = [0]
+        inj = RandomCrashInjector(
+            sim, crash=lambda: count.__setitem__(0, count[0] + 1),
+            restart=lambda: None, mtbf=0.5, mttr=0.1, seed=3,
+        )
+        inj.arm()
+        sim.run(until=5.0)
+        inj.disarm()
+        sim.run(until=10.0)
+        paused = count[0]
+        inj.arm()
+        sim.run(until=30.0)
+        assert count[0] > paused
 
     def test_invalid_params(self):
         sim = Simulator()

@@ -35,6 +35,7 @@ class TestFramework:
             "broad-except",
             "mutable-default",
             "guarded-by",
+            "unbounded-retry",
         }
 
     def test_parse_error_is_a_finding(self):
@@ -296,5 +297,96 @@ class TestGuardedBy:
 
             def get(self):
                 return self._items
+        """
+        assert not findings(src)
+
+
+class TestUnboundedRetry:
+    # The shape the hardened proxy replaced: a closure that bumps a
+    # retry counter and re-schedules forever with no bound in sight.
+    def test_unbounded_reschedule_fires(self):
+        src = """
+        class Proxy:
+            def submit(self, batch, on_ack):
+                def handle(ack):
+                    if not ack.ok:
+                        self.retried += 1
+                        self.metrics.counter("proxy.retries").inc()
+                        self.sim.schedule(self.retry_delay, self._enqueue, batch)
+                self.sim.schedule(0.0, self._dispatch, batch, handle)
+        """
+        assert rule_ids(src) == {"unbounded-retry"}
+
+    def test_retry_named_function_fires(self):
+        src = """
+        class Client:
+            def _retry_put(self, cells):
+                self.sim.schedule(self.backoff_base, self._send_put, cells)
+        """
+        assert rule_ids(src) == {"unbounded-retry"}
+
+    def test_bounded_retry_clean(self):
+        src = """
+        class Proxy:
+            def _retry_later(self, state):
+                if state.attempts >= self.max_batch_retries:
+                    self._finish(state, ok=False)
+                    return
+                state.attempts += 1
+                self.retried += 1
+                self.sim.schedule(self.retry_delay, self._enqueue, state)
+        """
+        assert not findings(src)
+
+    def test_bound_in_enclosing_function_counts_for_closure(self):
+        src = """
+        class Client:
+            def _send(self, cells, attempt):
+                def resend():
+                    self.sim.schedule(self.delay, self._submit, cells)
+                if attempt < self.max_retries:
+                    self.sim.schedule(0.0, resend)
+        """
+        assert not findings(src)
+
+    def test_periodic_self_reschedule_clean(self):
+        src = """
+        class Driver:
+            def _tick(self, interval):
+                self.offered += 1
+                self.sim.schedule(interval, self._tick, interval)
+        """
+        assert not findings(src)
+
+    def test_while_true_spin_fires(self):
+        src = """
+        def resend_forever(sock, batch):
+            while True:
+                resend(sock, batch)
+        """
+        assert rule_ids(src) == {"unbounded-retry"}
+
+    def test_while_true_with_break_clean(self):
+        src = """
+        def resend_until_acked(sock, batch):
+            while True:
+                if resend(sock, batch):
+                    break
+        """
+        assert not findings(src)
+
+    def test_non_retry_schedule_clean(self):
+        src = """
+        class Flusher:
+            def _arm(self, bucket):
+                self.timers[bucket] = self.sim.schedule(0.15, self._flush, bucket)
+        """
+        assert not findings(src)
+
+    def test_suppression_applies(self):
+        src = """
+        class Proxy:
+            def _retry(self, batch):
+                self.sim.schedule(0.1, self._enqueue, batch)  # repro-lint: ignore[unbounded-retry] -- bounded upstream
         """
         assert not findings(src)

@@ -70,7 +70,7 @@ class TestReproLint:
             [f for f in report["findings"] if f["suppressed"]]
         )
 
-    def test_rule_catalogue_lists_all_six(self):
+    def test_rule_catalogue_lists_all_seven(self):
         proc = _run([sys.executable, "-m", "repro.analysis", "--list-rules"])
         assert proc.returncode == 0
         listed = {line.split()[0] for line in proc.stdout.splitlines() if line.strip()}
@@ -81,6 +81,7 @@ class TestReproLint:
             "broad-except",
             "mutable-default",
             "guarded-by",
+            "unbounded-retry",
         } <= listed
 
     def test_exit_code_on_findings(self, tmp_path):
@@ -101,6 +102,6 @@ def test_ruff_clean():
 
 @pytest.mark.skipif(_module_command("mypy") is None, reason="mypy is not installed")
 def test_mypy_strict_tier_clean():
-    """Strict typing on core/, sparklet/, tsdb/publish.py, analysis/."""
+    """Strict typing on core/, sparklet/, tsdb/publish.py, analysis/, chaos/."""
     proc = _run(_module_command("mypy") + ["--config-file", "pyproject.toml"])
     assert proc.returncode == 0, f"mypy findings:\n{proc.stdout}\n{proc.stderr}"

@@ -2,8 +2,16 @@
 
 import pytest
 
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.simulation import Simulator
 from repro.tsdb.ingest import build_cluster
-from repro.tsdb.tsd import DataPoint
+from repro.tsdb.publish import (
+    BatchPublisher,
+    DeliveryAccountingError,
+    PublishReport,
+    PublishStalledError,
+)
+from repro.tsdb.tsd import DataPoint, PutAck
 
 
 def points(n, t0=0):
@@ -87,3 +95,164 @@ class TestDurableAckSemantics:
         assert sum(a.written for a in acks) == 20
         assert len(cluster.master.direct_scan("tsdb")) == 20
         assert cluster.metrics.counter("client.retries").get() >= 1
+
+
+class TestTsdCrashLifecycle:
+    def test_crashed_tsd_swallows_batches_silently(self):
+        cluster = build_cluster(n_nodes=1, salt_buckets=2)
+        tsd = cluster.tsds[0]
+        tsd.crash()
+        acks = []
+        tsd.put_batch(points(5), acks.append, "client")
+        cluster.sim.run()
+        # No ack of any kind — unlike a queue-overflow rejection.
+        assert acks == []
+        assert tsd.batches_swallowed == 1
+        assert cluster.metrics.counter("tsd.batches_swallowed").get() == 1
+
+    def test_crash_drops_buffered_cells(self):
+        cluster = build_cluster(n_nodes=1, salt_buckets=2, retain_data=True)
+        tsd = cluster.tsds[0]
+        tsd.put_batch(points(3), lambda a: None, "client")
+        cluster.sim.run(until=0.01)  # past HTTP service, before linger flush
+        assert tsd._buffers
+        tsd.crash()
+        assert not tsd._buffers and not tsd._linger_timers
+        cluster.sim.run()
+        assert len(cluster.master.direct_scan("tsdb")) == 0
+
+    def test_restart_restores_service(self):
+        cluster = build_cluster(n_nodes=1, salt_buckets=2, retain_data=True)
+        tsd = cluster.tsds[0]
+        tsd.crash()
+        tsd.restart()
+        assert not tsd.crashed
+        acks = []
+        tsd.put_batch(points(5), acks.append, "client")
+        cluster.sim.run()
+        assert len(acks) == 1 and acks[0].ok and acks[0].written == 5
+
+    def test_crash_and_restart_are_idempotent(self):
+        cluster = build_cluster(n_nodes=1, salt_buckets=2)
+        tsd = cluster.tsds[0]
+        tsd.restart()  # no-op while up
+        tsd.crash()
+        tsd.crash()  # no-op while down
+        assert cluster.metrics.counter("tsd.crashes").get() == 1
+        tsd.restart()
+        assert not tsd.crashed
+
+
+class _ScriptedCluster:
+    """Minimal cluster stand-in whose ingress follows a behaviour list.
+
+    Behaviours per submitted batch: ``"ok"`` acks fully, ``"swallow"``
+    never acks, ``"double"`` acks twice (duplicate delivery).  The last
+    behaviour repeats.  Exposes only what :class:`BatchPublisher`
+    touches (``sim``, ``metrics``, ``submit``).
+    """
+
+    def __init__(self, behaviours):
+        self.sim = Simulator()
+        self.metrics = MetricsRegistry()
+        self.behaviours = list(behaviours)
+        self.submissions = []
+
+    def submit(self, pts, on_ack=None):
+        self.submissions.append(list(pts))
+        step = self.behaviours[min(len(self.submissions), len(self.behaviours)) - 1]
+        if step == "swallow" or on_ack is None:
+            return
+        ack = PutAck(True, len(pts), 0, "scripted")
+        on_ack(ack)
+        if step == "double":
+            on_ack(ack)
+
+
+class TestPublisherDeliveryAccounting:
+    def test_stall_raises_instead_of_returning_incomplete(self):
+        """No ack deadline + an ack that never arrives = a loud stall.
+
+        The old behaviour quietly returned ``complete == False``; the
+        contract now is an exception carrying the pending ledger.
+        """
+        cluster = _ScriptedCluster(["swallow"])
+        pub = BatchPublisher(cluster, batch_size=10, ack_deadline=None)
+        pub.publish(points(10))
+        with pytest.raises(PublishStalledError) as excinfo:
+            pub.flush()
+        err = excinfo.value
+        assert err.pending == [(10, 0)]
+        assert err.report.pending_unresolved == 1
+        assert not err.report.complete
+        assert "10 point(s)" in str(err)
+
+    def test_stall_with_real_cluster_and_wedged_proxy(self):
+        """Ack timeouts off + TSD crash mid-flight wedges exactly as the
+        pre-hardening stack did — flush must refuse to call that done."""
+        cluster = build_cluster(n_nodes=1, salt_buckets=2)
+        cluster.ingress.ack_timeout = None  # disable the proxy's recovery
+        # Crash fires before the network delivers the batch: swallowed.
+        cluster.sim.schedule(0.0, cluster.tsds[0].crash)
+        pub = BatchPublisher(cluster, batch_size=10, ack_deadline=None)
+        pub.publish(points(10))
+        with pytest.raises(PublishStalledError):
+            pub.flush()
+
+    def test_deadline_retransmission_recovers_a_swallowed_batch(self):
+        cluster = _ScriptedCluster(["swallow", "ok"])
+        pub = BatchPublisher(
+            cluster, batch_size=10, ack_deadline=0.05, max_retransmits=2
+        )
+        pub.publish(points(10))
+        rep = pub.flush()
+        assert len(cluster.submissions) == 2
+        assert rep.retransmits == 1
+        assert rep.points_written == 10 and rep.complete and rep.conservation_ok
+        assert not pub.dead_letter
+
+    def test_dead_letter_after_retransmit_budget(self):
+        cluster = _ScriptedCluster(["swallow"])
+        pub = BatchPublisher(
+            cluster, batch_size=10, ack_deadline=0.05, max_retransmits=2
+        )
+        pub.publish(points(10))
+        rep = pub.flush()
+        # initial transmission + 2 retransmits, all swallowed
+        assert len(cluster.submissions) == 3
+        assert rep.retransmits == 2
+        assert rep.batches_dead_lettered == 1
+        assert rep.points_dead_lettered == 10
+        assert rep.points_written == 0
+        # Conservation still holds: the points have a definite fate.
+        assert rep.complete and rep.conservation_ok
+        rep.check_conservation()
+        # The points themselves are preserved for replay/inspection.
+        assert pub.dead_letter == [points(10)]
+        assert pub.metrics.counter("publish.dead_lettered").get() == 10
+
+    def test_duplicate_ack_counted_once(self):
+        cluster = _ScriptedCluster(["double"])
+        pub = BatchPublisher(cluster, batch_size=10)
+        pub.publish(points(10))
+        rep = pub.flush()
+        assert rep.points_written == 10  # not 20
+        assert rep.batches_acked == 1
+        assert pub.metrics.counter("publish.late_acks").get() == 1
+        assert rep.conservation_ok
+
+    def test_conservation_violation_raises(self):
+        rep = PublishReport(mode="proxy", points_submitted=10, points_written=7)
+        assert not rep.conservation_ok
+        with pytest.raises(DeliveryAccountingError):
+            rep.check_conservation()
+        rep.points_dead_lettered = 3
+        assert rep.conservation_ok
+        rep.check_conservation()
+
+    def test_validation_of_delivery_knobs(self):
+        cluster = _ScriptedCluster(["ok"])
+        with pytest.raises(ValueError):
+            BatchPublisher(cluster, ack_deadline=0.0)
+        with pytest.raises(ValueError):
+            BatchPublisher(cluster, max_retransmits=-1)

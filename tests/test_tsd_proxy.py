@@ -1,10 +1,14 @@
 """Tests for TSD daemons and the buffering reverse proxy."""
 
+from types import SimpleNamespace
+
 import pytest
 
+from repro.cluster.network import LatencyModel, Network
+from repro.cluster.simulation import Simulator
 from repro.tsdb.ingest import ClusterConfig, TsdbCluster, build_cluster
-from repro.tsdb.proxy import DirectSubmitter, ReverseProxy
-from repro.tsdb.tsd import DataPoint
+from repro.tsdb.proxy import PROXY_EXHAUSTED, DirectSubmitter, ReverseProxy, TsdBreaker
+from repro.tsdb.tsd import DataPoint, PutAck
 
 
 def small_cluster(**overrides):
@@ -132,6 +136,196 @@ class TestReverseProxy:
             ReverseProxy(cluster.sim, cluster.network, [])
         with pytest.raises(ValueError):
             ReverseProxy(cluster.sim, cluster.network, cluster.tsds, max_in_flight=0)
+
+
+class _StubTsd:
+    """Scriptable TSD stand-in: replies per a list of behaviours.
+
+    Behaviours: an int ``k`` acks ``written=k`` (partial when
+    ``k < len(batch)``), ``"ok"`` acks the whole batch, ``"bounce"``
+    negative-acks everything, ``"swallow"`` never replies.  The final
+    behaviour repeats for subsequent calls.
+    """
+
+    def __init__(self, name, behaviours, hostname="stub-host"):
+        self.name = name
+        self.node = SimpleNamespace(hostname=hostname, up=True)
+        self.crashed = False
+        self.behaviours = list(behaviours)
+        self.calls = []
+
+    def put_batch(self, pts, reply_to, src_host):
+        self.calls.append(list(pts))
+        step = self.behaviours[min(len(self.calls), len(self.behaviours)) - 1]
+        if step == "swallow":
+            return
+        if step == "ok":
+            step = len(pts)
+        if step == "bounce":
+            step = 0
+        written = min(int(step), len(pts))
+        failed = len(pts) - written
+        reply_to(PutAck(failed == 0, written, failed, self.name))
+
+
+def stub_proxy(behaviours_per_tsd, **overrides):
+    sim = Simulator()
+    network = Network(sim, LatencyModel())
+    tsds = [
+        _StubTsd(f"stub{i:02d}", behaviours, hostname=f"stub-host{i:02d}")
+        for i, behaviours in enumerate(behaviours_per_tsd)
+    ]
+    defaults = dict(retry_delay=0.01, max_backoff=0.05, ack_timeout=0.5)
+    defaults.update(overrides)
+    proxy = ReverseProxy(sim, network, tsds, **defaults)
+    return sim, proxy, tsds
+
+
+class TestProxyHardening:
+    def test_partial_ack_resubmits_exactly_the_unwritten_tail(self):
+        pts = points(10)
+        sim, proxy, (tsd,) = stub_proxy([[4, "ok"]])
+        acks = []
+        proxy.submit(pts, acks.append)
+        sim.run()
+        # First dispatch carried the whole batch; the retry carried only
+        # the tail the TSD did not durably write.
+        assert tsd.calls[0] == pts
+        assert tsd.calls[1] == pts[4:]
+        assert len(tsd.calls) == 2
+        assert proxy.partial_retries == 1
+        # The submitter still sees one aggregate, fully-written ack.
+        assert len(acks) == 1
+        assert acks[0].ok and acks[0].written == 10 and acks[0].failed == 0
+
+    def test_retry_budget_exhaustion_is_a_permanent_failure_ack(self):
+        sim, proxy, (tsd,) = stub_proxy([["bounce"]], max_batch_retries=3)
+        acks = []
+        proxy.submit(points(6), acks.append)
+        sim.run()
+        assert len(acks) == 1
+        ack = acks[0]
+        assert not ack.ok and ack.written == 0 and ack.failed == 6
+        assert ack.tsd == PROXY_EXHAUSTED
+        assert proxy.failed_batches == 1 and proxy.failed_points == 6
+        # initial attempt + 3 budgeted retries
+        assert len(tsd.calls) == 4
+
+    def test_ack_timeout_recovers_a_swallowed_batch(self):
+        # First dispatch is swallowed (crashed-TSD behaviour); the ack
+        # timeout must fire and the retry must land on the second call.
+        sim, proxy, (tsd,) = stub_proxy([["swallow", "ok"]], ack_timeout=0.1)
+        acks = []
+        proxy.submit(points(5), acks.append)
+        sim.run()
+        assert proxy.ack_timeouts == 1
+        assert len(acks) == 1 and acks[0].ok and acks[0].written == 5
+
+    def test_breaker_ejects_failing_tsd_and_reroutes(self):
+        # stub00 bounces everything; stub01 is healthy.  After the
+        # breaker opens, traffic must flow to stub01 only.
+        sim, proxy, (bad, good) = stub_proxy(
+            [["bounce"], ["ok"]],
+            failure_threshold=2,
+            eject_duration=60.0,
+            max_batch_retries=8,
+        )
+        acks = []
+        for i in range(6):
+            proxy.submit(points(2, t0=100 * i), acks.append)
+        sim.run()
+        assert all(a.ok for a in acks) and len(acks) == 6
+        assert proxy.breaker_ejections() >= 1
+        assert proxy.breakers[0].open
+        # Submits at t=0 round-robin three batches onto the bad TSD
+        # before its first ack lands; once the breaker opens, it sees
+        # no further dispatches (all retries reroute to the good TSD).
+        assert len(bad.calls) == 3
+        assert all(a.written == 2 for a in acks)
+
+    def test_all_open_fallback_keeps_dispatching(self):
+        # A single TSD whose breaker is open: the proxy must fall back
+        # to it rather than deadlock, and the batch eventually lands.
+        sim, proxy, (tsd,) = stub_proxy(
+            [["bounce", "bounce", "ok"]],
+            failure_threshold=1,
+            eject_duration=1000.0,
+            max_batch_retries=8,
+        )
+        acks = []
+        proxy.submit(points(3), acks.append)
+        sim.run()
+        assert len(acks) == 1 and acks[0].ok
+        assert proxy.metrics.counter("proxy.all_open_fallback").get() >= 1
+
+    def test_crashed_tsd_skipped_in_rotation(self):
+        cluster = small_cluster()
+        cluster.tsds[0].crash()
+        acks = []
+        for i in range(4):
+            cluster.submit(points(2, t0=100 * i), acks.append)
+        cluster.sim.run()
+        assert sum(a.written for a in acks) == 8
+        assert cluster.tsds[0].points_received == 0
+        assert cluster.tsds[1].points_received == 8
+
+    def test_downed_node_skipped_in_rotation(self):
+        sim, proxy, (up, down) = stub_proxy([["ok"], ["ok"]])
+        down.node.up = False
+        acks = []
+        for i in range(4):
+            proxy.submit(points(2, t0=100 * i), acks.append)
+        sim.run()
+        assert sum(a.written for a in acks) == 8
+        assert not down.calls and len(up.calls) == 4
+
+    def test_validation_of_hardening_knobs(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            ReverseProxy(cluster.sim, cluster.network, cluster.tsds, max_batch_retries=-1)
+        with pytest.raises(ValueError):
+            ReverseProxy(cluster.sim, cluster.network, cluster.tsds, ack_timeout=0.0)
+        with pytest.raises(ValueError):
+            ReverseProxy(cluster.sim, cluster.network, cluster.tsds, failure_threshold=0)
+        with pytest.raises(ValueError):
+            ReverseProxy(cluster.sim, cluster.network, cluster.tsds, eject_duration=0.0)
+
+
+class TestTsdBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = TsdBreaker(failure_threshold=3, eject_duration=1.0)
+        b.record_failure(0.0)
+        b.record_failure(0.1)
+        assert not b.open and b.available(0.2)
+        b.record_failure(0.2)
+        assert b.open and b.ejections == 1
+        assert not b.available(0.5)  # still ejected
+        assert b.available(1.3)  # eject_duration elapsed
+
+    def test_success_resets_failure_streak(self):
+        b = TsdBreaker(failure_threshold=2, eject_duration=1.0)
+        b.record_failure(0.0)
+        b.record_success()
+        b.record_failure(0.1)
+        assert not b.open  # streak was broken; not consecutive
+
+    def test_half_open_probe_closes_on_success(self):
+        b = TsdBreaker(failure_threshold=1, eject_duration=1.0)
+        b.record_failure(0.0)
+        assert b.open
+        b.on_dispatch(1.5)  # admitted after the ejection window
+        assert b.state == "half-open"
+        assert not b.available(1.5)  # one probe at a time
+        b.record_success()
+        assert b.state == "closed" and b.available(1.6)
+
+    def test_half_open_probe_reopens_on_failure(self):
+        b = TsdBreaker(failure_threshold=1, eject_duration=1.0)
+        b.record_failure(0.0)
+        b.on_dispatch(1.5)
+        b.record_failure(1.6)
+        assert b.open and b.ejections == 2
+        assert not b.available(1.7)  # new full ejection period from 1.6
 
 
 class TestDirectSubmitter:
