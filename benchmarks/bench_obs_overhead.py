@@ -1,0 +1,43 @@
+"""E13 — observability: tracing and self-telemetry overhead.
+
+The zero-cost discipline behind the tracing layer (mirroring
+``raceaudit.audited_lock``): with tracing off, the ingest hot path
+records nothing and pays only a nanosecond-scale enabled-flag guard;
+with tracing on — and even with the :class:`SelfReporter` writing
+``proxy.*``/``tsd.*`` self-metric series back into the store — the
+wall-clock cost over the untraced run stays under 5%.
+
+Shape assertions: zero span records untraced; < 5% min-wall overhead
+traced; identical simulated goodput in every configuration (the
+observability layer consumes no simulated time).
+"""
+
+import pytest
+
+from repro.bench import REGISTRY
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_overhead(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run("e13", n_points=10_000, batch_size=100),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    numbers = result.numbers
+
+    # tracing off is zero-cost: nothing recorded, nanosecond guard
+    assert numbers["untraced_span_records"] == 0
+    assert numbers["disabled_span_ns"] < 2_000
+    # tracing on (spans across proxy -> tsd -> hbase -> regionserver)
+    # actually traced the workload...
+    assert numbers["traced_span_records"] > 0
+    assert numbers["traced_batches_traced"] >= 1
+    # ...for under 5% wall-clock overhead, self-report included
+    assert numbers["traced_overhead_frac"] < 0.05
+    assert numbers["selfreport_overhead_frac"] < 0.05
+    # self-telemetry wrote queryable series into the store
+    assert numbers["selfreport_self_series"] > 0
+    # observability consumes no simulated time: goodput is unchanged
+    assert numbers["traced_goodput"] == pytest.approx(numbers["off_goodput"])

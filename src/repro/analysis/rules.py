@@ -1,6 +1,6 @@
 """The repro-lint rule catalogue.
 
-Seven rules tuned to this repository's correctness invariants:
+Eight rules tuned to this repository's correctness invariants:
 
 ===================  ===================================================
 ``unseeded-rng``     RNG created or used without an explicit seed
@@ -23,6 +23,11 @@ Seven rules tuned to this repository's correctness invariants:
                      attempt bound or budget in sight (every retry in
                      the ingest path must be bounded — see DESIGN.md
                      "Failure model and delivery guarantees")
+``rogue-registry``   ``MetricsRegistry()`` constructed outside
+                     ``repro.obs`` (metric identity must flow through
+                     the :class:`~repro.obs.Telemetry` routing; use
+                     ``component_registry(...)`` for standalone
+                     defaults)
 ===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
@@ -43,6 +48,7 @@ __all__ = [
     "FrozenSetattrRule",
     "GuardedByRule",
     "MutableDefaultRule",
+    "RogueRegistryRule",
     "UnboundedRetryRule",
     "UnseededRngRule",
 ]
@@ -488,6 +494,58 @@ class GuardedByRule(Rule):
             return
         for child in ast.iter_child_nodes(node):
             yield from self._scan(child, guards, held, source)
+
+
+# ----------------------------------------------------------------------
+@register
+class RogueRegistryRule(Rule):
+    """Bare ``MetricsRegistry()`` construction outside ``repro.obs``.
+
+    A registry constructed ad hoc is an island: its counters never
+    appear in the deployment's telemetry trees, so self-reporting and
+    the platform-health dashboard silently miss them.  All registry
+    construction lives in :mod:`repro.obs.telemetry`; everything else
+    takes a ``metrics=`` argument or calls
+    :func:`~repro.obs.telemetry.component_registry`.  Flags both direct
+    calls and ``default_factory=MetricsRegistry`` dataclass fields.
+    Tests, benchmarks, and examples (outside the package) are exempt.
+    """
+
+    id = "rogue-registry"
+    summary = "MetricsRegistry() constructed outside repro.obs"
+
+    _ADVICE = (
+        "construct registries through repro.obs (component_registry(...) "
+        "or Telemetry().registry(...)) so the metrics join a telemetry tree"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        parts = source.path.parts
+        return "repro" in parts and "obs" not in parts
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.rpartition(".")[2] == "MetricsRegistry":
+                yield self.finding(
+                    source, node, f"bare MetricsRegistry() call: {self._ADVICE}"
+                )
+                continue
+            for keyword in node.keywords:
+                value = keyword.value
+                name = _dotted_name(value) if isinstance(value, (ast.Name, ast.Attribute)) else None
+                if (
+                    keyword.arg == "default_factory"
+                    and name is not None
+                    and name.rpartition(".")[2] == "MetricsRegistry"
+                ):
+                    yield self.finding(
+                        source,
+                        value,
+                        f"default_factory=MetricsRegistry: {self._ADVICE}",
+                    )
 
 
 # ----------------------------------------------------------------------

@@ -85,6 +85,28 @@ class ChaosReport:
     def still_down(self) -> Tuple[str, ...]:
         return tuple(sorted(self._open))
 
+    def edges(self, now: Optional[float] = None) -> List[Tuple[float, str, int]]:
+        """Downtime windows as ``(time, component, state)`` transitions.
+
+        ``state`` is 1 at a down edge and 0 at the matching up edge —
+        the 0/1 square-wave shape the self-telemetry write-back stores
+        as ``chaos.down`` so fault windows overlay on platform metrics.
+        Still-open outages contribute their down edge (and, when ``now``
+        is given, a trailing still-down sample at ``now``) without
+        mutating the report.  Sorted by time.
+        """
+        out: List[Tuple[float, str, int]] = []
+        for component, windows in self.intervals.items():
+            for down_at, up_at in windows:
+                out.append((down_at, component, 1))
+                out.append((up_at, component, 0))
+        for component, down_at in self._open.items():
+            out.append((down_at, component, 1))
+            if now is not None and now > down_at:
+                out.append((now, component, 1))
+        out.sort()
+        return out
+
     def summary(self) -> str:
         """Human-readable per-run digest (one line per component)."""
         lines = [f"chaos plan {self.plan_name!r}: {len(self.fired)} events fired"]

@@ -9,7 +9,6 @@ captures; per-server skew measurements for the salting ablation use
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
@@ -50,18 +49,31 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time value with max/min watermarks."""
+    """Point-in-time value with max/min watermarks.
+
+    Watermarks read 0.0 until the first ``set()`` — a never-touched
+    gauge must not leak ``±inf`` sentinels into reports or the
+    self-metric write-back.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
-        self.max_value = -math.inf
-        self.min_value = math.inf
+        self._max: float | None = None
+        self._min: float | None = None
+
+    @property
+    def max_value(self) -> float:
+        return 0.0 if self._max is None else self._max
+
+    @property
+    def min_value(self) -> float:
+        return 0.0 if self._min is None else self._min
 
     def set(self, value: float) -> None:
         self.value = value
-        self.max_value = max(self.max_value, value)
-        self.min_value = min(self.min_value, value)
+        self._max = value if self._max is None else max(self._max, value)
+        self._min = value if self._min is None else min(self._min, value)
 
     def add(self, delta: float) -> None:
         self.set(self.value + delta)
@@ -160,7 +172,15 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket upper bounds."""
+        """Approximate quantile from bucket upper bounds.
+
+        Strict accumulation over *occupied* buckets only: empty leading
+        buckets never satisfy ``acc >= target`` (with ``q=0`` the old
+        code returned ``bounds[0]`` regardless of where observations
+        landed), so ``quantile(0.0)`` is the smallest occupied bucket's
+        bound and ``quantile(1.0)`` the largest occupied bucket's bound
+        (``max_seen`` for the overflow bucket).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
@@ -168,6 +188,8 @@ class LatencyHistogram:
         target = q * self.count
         acc = 0
         for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
             acc += n
             if acc >= target:
                 return self.bounds[i] if i < len(self.bounds) else self.max_seen
@@ -210,10 +232,14 @@ def skew_ratio(per_label_counts: Iterable[float]) -> float:
     1.0 means perfectly balanced; for a single hot shard among ``n``
     shards the ratio approaches ``n``.  Used by the salting ablation
     (E6) to quantify RegionServer write skew.
+
+    Empty input is a caller bug and raises ``ValueError``; all-zero
+    counts are a legitimate "no load yet" state and return ``nan``
+    (the ratio is genuinely undefined, not an error).
     """
     counts = list(per_label_counts)
     if not counts:
-        return float("nan")
+        raise ValueError("skew_ratio of zero labels is undefined")
     mean = sum(counts) / len(counts)
     if mean == 0:
         return float("nan")

@@ -28,10 +28,13 @@ and ``benchmarks/bench_pipeline_parallel.py`` both assert.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis.raceaudit import assert_holds, audited_lock
+from ..cluster.metrics import MetricsRegistry
+from ..obs.telemetry import component_registry
 from ..simdata.generator import FleetGenerator, UnitData
 from ..sparklet.context import SparkletContext
 from .fdr import AnomalyReport, FDRDetectorConfig
@@ -50,6 +53,7 @@ class UnitEvaluation:
     window: UnitData
     report: AnomalyReport
     outcome: DetectionOutcome
+    seconds: float = 0.0  # wall-clock scoring time (observability)
 
 
 class FleetEvaluationEngine:
@@ -78,11 +82,13 @@ class FleetEvaluationEngine:
         models: Dict[int, UnitModel],
         config: Optional[FDRDetectorConfig] = None,
         ctx: Optional[SparkletContext] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.generator = generator
         self.models = models
         self.config = config if config is not None else FDRDetectorConfig()
         self.ctx = ctx
+        self.metrics = metrics if metrics is not None else component_registry("engine")
         self._evaluators: Dict[int, Tuple[UnitModel, OnlineEvaluator]] = {}  # guarded-by: _lock
         self._lock = audited_lock("core.engine.evaluators")
 
@@ -124,10 +130,13 @@ class FleetEvaluationEngine:
     # ------------------------------------------------------------------
     def evaluate_unit(self, unit_id: int, n_eval: int = 600) -> UnitEvaluation:
         """Score one unit's evaluation window through the cached fast path."""
+        t0 = time.perf_counter()
         window = self.generator.evaluation_window(unit_id, n_eval)
         report = self.evaluator_for(unit_id).report(window.values)
         outcome = evaluate_flags(report.flags, window.truth, unit_id)
-        return UnitEvaluation(unit_id, window, report, outcome)
+        return UnitEvaluation(
+            unit_id, window, report, outcome, seconds=time.perf_counter() - t0
+        )
 
     def evaluate_fleet(
         self,
@@ -161,14 +170,27 @@ class FleetEvaluationEngine:
             for lo in range(0, len(units), wave):
                 chunk = units[lo : lo + wave]
                 if ctx is None:
-                    yield [self.evaluate_unit(u, n_eval) for u in chunk]
+                    results = [self.evaluate_unit(u, n_eval) for u in chunk]
                 else:
-                    yield ctx.map_tasks(
+                    results = ctx.map_tasks(
                         lambda u: self.evaluate_unit(u, n_eval), chunk
                     )
+                # Fold metrics in the driver thread only: Counter.inc is
+                # not atomic, and workers already carry their timings on
+                # the evaluation records.
+                self._note_wave(results)
+                yield results
         finally:
             if transient and ctx is not None:
                 ctx.stop()
+
+    # ------------------------------------------------------------------
+    def _note_wave(self, wave: List[UnitEvaluation]) -> None:
+        self.metrics.counter("engine.units_scored").inc(len(wave))
+        hist = self.metrics.histogram("engine.unit_eval_seconds")
+        for ev in wave:
+            hist.observe(ev.seconds)
+            self.metrics.counter("engine.samples_scored").inc(ev.window.values.shape[0])
 
     # ------------------------------------------------------------------
     def _resolve_parallelism(self, parallelism: Optional[int]) -> int:

@@ -38,6 +38,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster.metrics import MetricsRegistry
+from ..obs.selfreport import SelfReporter
+from ..obs.telemetry import Telemetry, component_registry
+from ..obs.trace import Tracer
 from ..simdata.generator import FleetGenerator, UnitData
 from ..simdata.workload import sensor_tag, unit_points, unit_tag
 from ..sparklet.context import SparkletContext
@@ -93,6 +96,17 @@ class PipelineConfig:
     wave_size:
         Units scored per fan-out wave (bounds peak window memory);
         ``None`` derives it from the parallelism.
+    self_report:
+        Periodically flush the run's and the cluster's telemetry back
+        into the attached TSDB as ``proxy.*``/``tsd.*``/``engine.*``
+        series (queryable platform self-telemetry).  Ignored without a
+        cluster.
+    self_report_interval:
+        Sim-seconds between self-telemetry flushes.
+    trace:
+        Enable span tracing on the attached cluster for this run; the
+        resulting :class:`~repro.obs.Tracer` is surfaced on
+        ``PipelineResult.trace``.
     """
 
     n_train: int = 600
@@ -103,6 +117,9 @@ class PipelineConfig:
     use_proxy_path: bool = True
     max_in_flight_batches: int = 32
     wave_size: Optional[int] = None
+    self_report: bool = False
+    self_report_interval: float = 0.25
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n_train < 2:
@@ -117,6 +134,8 @@ class PipelineConfig:
             raise ValueError("max_in_flight_batches must be >= 1")
         if self.wave_size is not None and self.wave_size < 1:
             raise ValueError("wave_size must be >= 1")
+        if self.self_report_interval <= 0:
+            raise ValueError("self_report_interval must be positive")
 
     def with_overrides(self, **overrides: object) -> "PipelineConfig":
         """A copy with every non-``None`` override applied."""
@@ -141,11 +160,13 @@ class PipelineResult:
     outcomes: Dict[int, DetectionOutcome] = field(default_factory=dict)
     points_published: int = 0
     anomalies_published: int = 0
-    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    metrics: MetricsRegistry = field(default_factory=component_registry)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     samples_per_second: float = 0.0
     data_publish: Optional[PublishReport] = None
     anomaly_publish: Optional[PublishReport] = None
+    trace: Optional[Tracer] = None
+    self_reporter: Optional[SelfReporter] = None
 
     def total_discoveries(self) -> int:
         return sum(r.n_discoveries for r in self.reports.values())
@@ -271,7 +292,7 @@ class AnomalyPipeline:
         evaluation = self.engine.evaluate_unit(unit_id, n_eval)
         if publish and self.cluster is not None:
             cfg = self.pipeline_config.with_overrides(use_proxy_path=use_proxy_path)
-            data_pub, anomaly_pub = self._publishers(cfg, MetricsRegistry())
+            data_pub, anomaly_pub = self._publishers(cfg, component_registry())
             data_pub.publish(unit_points(evaluation.window))
             anomaly_pub.publish(self._anomaly_points(evaluation.window, evaluation.report))
             data_pub.flush()
@@ -290,6 +311,8 @@ class AnomalyPipeline:
         publish_batch_size: Optional[int] = None,
         use_proxy_path: Optional[bool] = None,
         wave_size: Optional[int] = None,
+        self_report: Optional[bool] = None,
+        trace: Optional[bool] = None,
     ) -> PipelineResult:
         """Full loop over the fleet; returns reports, outcomes, metrics.
 
@@ -308,10 +331,36 @@ class AnomalyPipeline:
             publish_batch_size=publish_batch_size,
             use_proxy_path=use_proxy_path,
             wave_size=wave_size,
+            self_report=self_report,
+            trace=trace,
         )
         units = list(unit_ids) if unit_ids is not None else list(self.generator.units())
-        registry = MetricsRegistry()
+        # Fresh telemetry per run so counters never bleed across runs.
+        # ``registry`` is the catch-all routed view: the publishers'
+        # ``publish.*`` land in the publisher tree, the ``pipeline.*``
+        # gauges below in the engine tree, all discoverable through
+        # ``result.metrics`` exactly as before.
+        telemetry = Telemetry()
+        registry = telemetry.root
         result = PipelineResult(metrics=registry)
+        self.engine.metrics = telemetry.registry("engine")
+
+        if cfg.trace and self.cluster is not None:
+            self.cluster.tracer.enable()
+            result.trace = self.cluster.tracer
+
+        reporter = None
+        if cfg.self_report and self.cluster is not None:
+            # Flush cluster-side *and* run-side telemetry back into the
+            # TSDB itself, so platform health is queryable like any
+            # other series (tsd.*, proxy.*, engine.*, publish.*).
+            reporter = SelfReporter(
+                self.cluster,
+                extra=(telemetry,),
+                interval=cfg.self_report_interval,
+            )
+            reporter.start()
+            result.self_reporter = reporter
 
         t0 = time.perf_counter()
         self.train(units, n_train=cfg.n_train)
@@ -367,6 +416,11 @@ class AnomalyPipeline:
         registry.gauge("pipeline.samples_per_second").set(result.samples_per_second)
         registry.counter("pipeline.units").inc(len(units))
         registry.counter("pipeline.samples_scored").inc(samples_scored)
+        if reporter is not None:
+            # Final flush after the stage gauges above, so the last
+            # self-metric snapshot includes the completed run's totals.
+            reporter.stop()
+            reporter.flush()
         return result
 
     # ------------------------------------------------------------------

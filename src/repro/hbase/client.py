@@ -14,9 +14,10 @@ simulated time.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster.metrics import MetricsRegistry
+from ..obs.telemetry import component_registry
 from ..cluster.network import Network
 from ..cluster.simulation import Simulator
 from .master import HMaster
@@ -64,7 +65,7 @@ class HTableClient:
         self.backoff_base = backoff_base
         self.backoff_mult = backoff_mult
         self.rpc_timeout = rpc_timeout
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else component_registry("tsd")
 
     # ------------------------------------------------------------------
     # puts
@@ -74,6 +75,7 @@ class HTableClient:
         table: str,
         cells: List[Cell],
         on_done: Optional[Callable[[bool, int], None]] = None,
+        batch_ids: Tuple[int, ...] = (),
     ) -> None:
         """Write a batch of cells; ``on_done(ok, n_cells)`` when resolved.
 
@@ -81,7 +83,9 @@ class HTableClient:
         succeeds or fails independently and ``on_done`` fires once per
         partition with that partition's cell count (on failure too, so
         callers can reconcile exactly how many cells each resolution
-        covers).
+        covers).  ``batch_ids`` is trace correlation only: the ingest
+        batch ids whose cells this put carries, stamped onto the
+        :class:`PutRequest` so RegionServer spans join the batch trace.
         """
         if not cells:
             if on_done is not None:
@@ -89,7 +93,7 @@ class HTableClient:
             return
         groups = self._group_by_server(table, cells)
         for server_name, group in groups.items():
-            self._send_put(table, server_name, group, 0, on_done)
+            self._send_put(table, server_name, group, 0, on_done, batch_ids)
 
     def _group_by_server(self, table: str, cells: List[Cell]) -> Dict[Optional[str], List[Cell]]:
         groups: Dict[Optional[str], List[Cell]] = defaultdict(list)
@@ -105,13 +109,14 @@ class HTableClient:
         cells: List[Cell],
         attempt: int,
         on_done: Optional[Callable[[bool, int], None]],
+        batch_ids: Tuple[int, ...] = (),
     ) -> None:
         if server_name is None:
             # Region currently unassigned (recovery in flight): back off and re-route.
-            self._retry_put(table, cells, attempt, on_done)
+            self._retry_put(table, cells, attempt, on_done, batch_ids)
             return
         server = self.master.server(server_name)
-        request = PutRequest(table, cells)
+        request = PutRequest(table, cells, batch_ids)
         # One attempt resolves exactly once: first of {reply, timeout,
         # dropped send} wins; a late reply after a timeout is ignored
         # (the retry chain owns the cells from then on).
@@ -135,7 +140,7 @@ class HTableClient:
                 if on_done is not None:
                     on_done(True, len(cells))
             elif reply.retryable:
-                self._retry_put(table, cells, attempt, on_done)
+                self._retry_put(table, cells, attempt, on_done, batch_ids)
             else:
                 self._fail_put(cells, on_done)
 
@@ -144,7 +149,7 @@ class HTableClient:
             if not settle():
                 return
             self.metrics.counter("client.rpc_timeouts").inc()
-            self._retry_put(table, cells, attempt, on_done)
+            self._retry_put(table, cells, attempt, on_done, batch_ids)
 
         sent = self.network.send(
             self.host, server.node.hostname, server.rpc, request, handle_reply, self.host
@@ -154,7 +159,7 @@ class HTableClient:
             # fast into the retry path instead of hanging forever.
             if settle():
                 self.metrics.counter("client.sends_dropped").inc()
-                self._retry_put(table, cells, attempt, on_done)
+                self._retry_put(table, cells, attempt, on_done, batch_ids)
             return
         if self.rpc_timeout is not None:
             timeout_handle[0] = self.sim.schedule(self.rpc_timeout, handle_timeout)
@@ -165,6 +170,7 @@ class HTableClient:
         cells: List[Cell],
         attempt: int,
         on_done: Optional[Callable[[bool, int], None]],
+        batch_ids: Tuple[int, ...] = (),
     ) -> None:
         if attempt >= self.max_retries:
             self._fail_put(cells, on_done)
@@ -175,7 +181,7 @@ class HTableClient:
         def resend() -> None:
             # Re-locate: assignments may have changed while backing off.
             for server_name, group in self._group_by_server(table, cells).items():
-                self._send_put(table, server_name, group, attempt + 1, on_done)
+                self._send_put(table, server_name, group, attempt + 1, on_done, batch_ids)
 
         self.sim.schedule(delay, resend)
 

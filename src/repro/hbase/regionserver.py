@@ -20,13 +20,15 @@ the master replays it during reassignment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster.failures import OverflowCrashPolicy
 from ..cluster.metrics import MetricsRegistry
 from ..cluster.network import Network
 from ..cluster.node import Node, Server
 from ..cluster.simulation import Simulator
+from ..obs.telemetry import component_registry
+from ..obs.trace import NULL_SPAN, SpanLike, Tracer
 from .region import Cell, Region
 from .wal import WriteAheadLog
 
@@ -69,10 +71,15 @@ class ServiceModel:
 
 @dataclass
 class PutRequest:
-    """Batched write RPC: cells for one table, possibly many regions."""
+    """Batched write RPC: cells for one table, possibly many regions.
+
+    ``batch_ids`` carries trace correlation only — the inbound ingest
+    batch ids whose coalesced cells this RPC delivers.
+    """
 
     table: str
     cells: List[Cell]
+    batch_ids: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -121,13 +128,15 @@ class RegionServer:
         service_model: Optional[ServiceModel] = None,
         metrics: Optional[MetricsRegistry] = None,
         crash_policy_factory: Optional[Callable[["RegionServer"], OverflowCrashPolicy]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.node = node
         self.name = name
         self.service_model = service_model if service_model is not None else ServiceModel()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else component_registry("regionserver")
+        self.tracer = tracer if tracer is not None else Tracer()
         self.rpc_server = Server(sim, name, queue_capacity, self.metrics)
         node.add_server(self.rpc_server)
         self.regions: Dict[str, Region] = {}
@@ -182,11 +191,20 @@ class RegionServer:
             self._reply(reply_to, src_host, RpcReply.failure("bad request", self.name, False))
             return
 
+        span: SpanLike = NULL_SPAN
+        if self.tracer.enabled and isinstance(request, PutRequest):
+            # Covers queueing + service + region writes for one put RPC.
+            span = self.tracer.begin(
+                "regionserver.put",
+                server=self.name,
+                cells=len(request.cells),
+                batch_ids=request.batch_ids,
+            )
         accepted = self.rpc_server.submit(
             request,
             cost,
-            on_done=lambda req: self._serve(req, reply_to, src_host),
-            on_reject=lambda req: self._rejected(req, reply_to, src_host),
+            on_done=lambda req: self._serve(req, reply_to, src_host, span),
+            on_reject=lambda req: self._rejected(req, reply_to, src_host, span),
         )
         if accepted:
             self.metrics.gauge("rpc.queue_depth").set(self.rpc_server.queue_depth)
@@ -196,7 +214,14 @@ class RegionServer:
         # than materialising the scan twice.
         return sum(r.memstore_size + r.store_file_count * 1000 for r in self.regions.values())
 
-    def _rejected(self, request: object, reply_to: Callable[[RpcReply], None], src_host: str) -> None:
+    def _rejected(
+        self,
+        request: object,
+        reply_to: Callable[[RpcReply], None],
+        src_host: str,
+        span: SpanLike = NULL_SPAN,
+    ) -> None:
+        span.end(outcome="rejected")
         self.rpcs_rejected += 1
         self.metrics.counter("rpc.rejected").inc(label=self.name)
         self._reply(
@@ -208,8 +233,15 @@ class RegionServer:
     # ------------------------------------------------------------------
     # request execution (runs after the modelled service time)
     # ------------------------------------------------------------------
-    def _serve(self, request: object, reply_to: Callable[[RpcReply], None], src_host: str) -> None:
+    def _serve(
+        self,
+        request: object,
+        reply_to: Callable[[RpcReply], None],
+        src_host: str,
+        span: SpanLike = NULL_SPAN,
+    ) -> None:
         if self.crashed:
+            span.end(outcome="crashed")
             return  # dying server never replies; client will time out / retry
         if isinstance(request, PutRequest):
             reply = self._serve_put(request)
@@ -217,6 +249,7 @@ class RegionServer:
             reply = self._serve_get(request)
         else:
             reply = self._serve_scan(request)  # type: ignore[arg-type]
+        span.end(outcome="ok" if reply.ok else reply.error)
         self._reply(reply_to, src_host, reply)
 
     def _serve_put(self, request: PutRequest) -> RpcReply:

@@ -1,0 +1,166 @@
+"""Self-telemetry write-back: the platform monitors itself.
+
+OpenTSDB famously ingests its own ``tsd.*`` self-metrics, and the
+paper's control-center is a pure read-side consumer of the same store
+it monitors.  :class:`SelfReporter` reproduces that loop: it
+periodically snapshots one or more :class:`~repro.obs.telemetry.Telemetry`
+trees into the simulated TSDB as ``{component}.{metric}`` series tagged
+``host=<component-or-label>``, so platform health (``proxy.ack_latency.p99``,
+``tsd.batches_rejected``, ``engine.units_scored``, …) is queryable
+through the very :class:`~repro.tsdb.query.QueryEngine` the dashboard
+uses for fleet data.
+
+Chaos integration: when constructed with a
+:class:`~repro.chaos.report.ChaosReport`, each flush also emits
+``chaos.components_down`` (gauge of currently open outages) and a
+``chaos.down`` 0/1 edge series per component via
+:meth:`write_chaos_windows`, so injected-fault windows line up with the
+self-metric dips they cause.
+
+Writes go through :meth:`~repro.tsdb.ingest.TsdbCluster.direct_put`
+(the sanctioned offline write-back path) so self-reporting never
+competes with the ingest workload under study.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from .telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..chaos.report import ChaosReport
+    from ..tsdb.ingest import TsdbCluster
+    from ..tsdb.tsd import DataPoint
+
+__all__ = ["SelfReporter"]
+
+
+def _datapoint(name: str, ts: int, value: float, host: str) -> "DataPoint":
+    # Imported lazily: the TSD module itself imports ``repro.obs`` for
+    # its registry/tracer defaults, so a module-level import here would
+    # close an import cycle through the ``repro.obs`` package init.
+    from ..tsdb.tsd import DataPoint
+
+    return DataPoint(name, ts, value, (("host", host),))
+
+
+class SelfReporter:
+    """Periodically flush telemetry snapshots back into the TSDB."""
+
+    def __init__(
+        self,
+        cluster: "TsdbCluster",
+        telemetry: Optional[Telemetry] = None,
+        extra: Sequence[Telemetry] = (),
+        interval: float = 0.25,
+        chaos_report: Optional["ChaosReport"] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster = cluster
+        primary = telemetry if telemetry is not None else cluster.telemetry
+        self.telemetries: List[Telemetry] = [primary, *extra]
+        self.interval = interval
+        self.chaos_report = chaos_report
+        self.flushes = 0
+        self.points_written = 0
+        self._running = False
+        self._handle: Optional[object] = None
+        self._last_ts = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic flushing on the cluster's simulator clock."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self.cluster.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop the periodic flush (a final explicit flush is still fine)."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()  # type: ignore[attr-defined]
+            self._handle = None
+
+    def _tick(self) -> None:
+        self._handle = None
+        if not self._running:
+            return
+        self.flush()
+        self._handle = self.cluster.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # write-back
+    # ------------------------------------------------------------------
+    def _next_ts(self) -> int:
+        """A strictly monotonic integer timestamp on the sim clock.
+
+        TSDB points are keyed at second granularity; flushes inside the
+        same sim-second must not overwrite each other, so the reporter
+        enforces ``ts > last`` even when ``sim.now`` has not advanced a
+        full second.
+        """
+        ts = max(int(self.cluster.sim.now), self._last_ts + 1)
+        self._last_ts = ts
+        return ts
+
+    def flush(self) -> int:
+        """Write one snapshot of every telemetry tree; returns points written."""
+        ts = self._next_ts()
+        points: List["DataPoint"] = []
+        for telemetry in self.telemetries:
+            for sample in telemetry.samples():
+                points.append(_datapoint(sample.name, ts, sample.value, sample.host))
+        points.extend(self._chaos_points(ts))
+        written = self.cluster.direct_put(points) if points else 0
+        self.flushes += 1
+        self.points_written += written
+        return written
+
+    def _chaos_points(self, ts: int) -> List["DataPoint"]:
+        report = self.chaos_report
+        if report is None:
+            return []
+        down = report.still_down()
+        points = [_datapoint("chaos.components_down", ts, float(len(down)), "chaos")]
+        for component in down:
+            points.append(_datapoint("chaos.down", ts, 1.0, component))
+        return points
+
+    def write_chaos_windows(self, report: Optional["ChaosReport"] = None) -> int:
+        """Write ``chaos.down`` 0/1 edge series for every fault window.
+
+        Call after the run (post :meth:`ChaosReport.close`) so the
+        dashboard and queries can overlay exact outage windows on the
+        self-metrics.  Returns points written.
+        """
+        report = report if report is not None else self.chaos_report
+        if report is None:
+            return 0
+        points: List["DataPoint"] = []
+        for at, component, state in report.edges(now=self.cluster.sim.now):
+            points.append(
+                _datapoint("chaos.down", self._edge_ts(at), float(state), component)
+            )
+        written = self.cluster.direct_put(points) if points else 0
+        self.points_written += written
+        return written
+
+    def _edge_ts(self, at: float) -> int:
+        ts = max(int(at), self._last_ts + 1)
+        self._last_ts = ts
+        return ts
+
+    def series_written(self) -> Tuple[str, ...]:
+        """Distinct self-metric names available for querying, sorted."""
+        names = set()
+        for telemetry in self.telemetries:
+            for sample in telemetry.samples():
+                names.add(sample.name)
+        if self.chaos_report is not None:
+            names.update({"chaos.components_down", "chaos.down"})
+        return tuple(sorted(names))

@@ -45,11 +45,32 @@ class Series:
 
 
 def _nan_agg(fn: Callable[..., np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
-    return lambda stack: fn(stack, axis=0)
+    """Column-wise nan-reduction that stays silent on all-NaN columns.
+
+    ``np.nanmean``/``nanmin``/``nanmax``/``nanstd`` emit a
+    ``RuntimeWarning`` (via ``warnings.warn``, which ``np.errstate``
+    does *not* suppress) for all-NaN slices; sparse unions hit that
+    during perfectly normal aggregation.  All-NaN columns are masked to
+    0.0 before the reduction and restored to NaN afterwards — other
+    columns are reduced bit-identically.  ``nansum`` is excluded: it
+    never warns, and masking would change its documented all-NaN
+    result (0.0) to NaN.
+    """
+
+    def agg(stack: np.ndarray) -> np.ndarray:
+        all_nan = np.all(np.isnan(stack), axis=0)
+        if not np.any(all_nan):
+            return np.asarray(fn(stack, axis=0))
+        safe = np.where(all_nan[np.newaxis, :], 0.0, stack)
+        out = np.asarray(fn(safe, axis=0), dtype=np.float64)
+        out[all_nan] = np.nan
+        return out
+
+    return agg
 
 
 AGGREGATORS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
-    "sum": _nan_agg(np.nansum),
+    "sum": lambda stack: np.nansum(stack, axis=0),
     "avg": _nan_agg(np.nanmean),
     "min": _nan_agg(np.nanmin),
     "max": _nan_agg(np.nanmax),
@@ -57,14 +78,26 @@ AGGREGATORS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
     "dev": _nan_agg(np.nanstd),
 }
 
+
+def _nan_scalar(fn: Callable[[np.ndarray], float]) -> Callable[[np.ndarray], float]:
+    """Scalar nan-reduction with the same all-NaN silence guarantee."""
+
+    def agg(group: np.ndarray) -> float:
+        if np.all(np.isnan(group)):
+            return float("nan")
+        return float(fn(group))
+
+    return agg
+
+
 # Scalar reductions over one window (used by downsampling).
 _SCALAR_AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
     "sum": lambda g: float(np.nansum(g)),
-    "avg": lambda g: float(np.nanmean(g)),
-    "min": lambda g: float(np.nanmin(g)),
-    "max": lambda g: float(np.nanmax(g)),
+    "avg": _nan_scalar(np.nanmean),
+    "min": _nan_scalar(np.nanmin),
+    "max": _nan_scalar(np.nanmax),
     "count": lambda g: float(np.sum(~np.isnan(g))),
-    "dev": lambda g: float(np.nanstd(g)),
+    "dev": _nan_scalar(np.nanstd),
 }
 
 
@@ -97,8 +130,10 @@ def aggregate(series: Sequence[Series], aggregator: str) -> Series:
         raise ValueError(f"unknown aggregator {aggregator!r}; choose from {sorted(AGGREGATORS)}")
     if not series:
         raise ValueError("cannot aggregate zero series")
-    if len(series) == 1:
-        return series[0]
+    # No single-series shortcut: one matching series must flow through
+    # the same tag-reduction, float64 cast, and aggregator semantics as
+    # N (``count`` yields ones, ``dev`` zeros) so the group-by output
+    # schema does not depend on how many series matched.
     times, stack = align_union(series)
     values = AGGREGATORS[aggregator](stack)
     common = set(series[0].tags)

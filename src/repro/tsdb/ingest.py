@@ -12,21 +12,27 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
 
 from ..cluster.failures import OverflowCrashPolicy
-from ..cluster.metrics import MetricsRegistry, TimeSeriesRecorder, skew_ratio
+from ..cluster.metrics import TimeSeriesRecorder, skew_ratio
 from ..cluster.network import LatencyModel, Network
 from ..cluster.node import Node
 from ..cluster.simulation import Simulator
 from ..hbase.master import HMaster
 from ..hbase.regionserver import RegionServer, ServiceModel
 from ..hbase.zookeeper import ZooKeeper
+from ..obs.telemetry import Telemetry
+from ..obs.trace import Tracer
 from .proxy import DirectSubmitter, ReverseProxy
 from .query import QueryEngine
 from .rowkey import RowKeyCodec
 from .tsd import DATA_TABLE, DataPoint, PutAck, TSDaemon, TSDServiceModel
 from .uid import UniqueIdRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.selfreport import SelfReporter
+    from .compaction import RowCompactor
 
 __all__ = ["ClusterConfig", "TsdbCluster", "build_cluster", "IngestionDriver", "IngestionReport"]
 
@@ -54,6 +60,7 @@ class ClusterConfig:
     crash_window: float = 1.0
     crash_restart_delay: float = 5.0
     direct_spray: bool = True  # fire-and-forget mode: round-robin vs single TSD
+    trace: bool = False  # span tracing across proxy -> TSD -> RegionServer
     service_model: ServiceModel = field(default_factory=ServiceModel)
     tsd_service_model: TSDServiceModel = field(default_factory=TSDServiceModel)
 
@@ -92,7 +99,15 @@ class TsdbCluster:
             raise ValueError("need at least one node")
         self.config = config
         self.sim = Simulator()
-        self.metrics = MetricsRegistry()
+        # One telemetry tree set per deployment: every component records
+        # through a routed view of the same Telemetry, so e.g.
+        # ``proxy.retries`` is one counter cluster-wide.  ``metrics`` is
+        # the catch-all view, drop-in compatible with the old registry.
+        self.telemetry = Telemetry()
+        self.metrics = self.telemetry.root
+        # Sim-clock tracer shared by the whole ingest path; spans carry
+        # sim-seconds so traces line up with the simulated timeline.
+        self.tracer = Tracer(enabled=config.trace, clock=lambda: self.sim.now)
         self.network = Network(self.sim, LatencyModel())
         self.zk = ZooKeeper()
         self.master = HMaster(self.zk)
@@ -128,7 +143,8 @@ class TsdbCluster:
                 f"rs{i:02d}",
                 queue_capacity=config.rs_queue_capacity,
                 service_model=service_model,
-                metrics=self.metrics,
+                metrics=self.telemetry.registry("regionserver"),
+                tracer=self.tracer,
                 crash_policy_factory=(
                     (lambda srv: OverflowCrashPolicy(
                         self.sim,
@@ -161,8 +177,9 @@ class TsdbCluster:
                 rpc_batch_size=config.rpc_batch_size,
                 queue_capacity=config.tsd_queue_capacity,
                 service_model=config.tsd_service_model,
-                metrics=self.metrics,
+                metrics=self.telemetry.registry("tsd"),
                 write_ts=self.next_write_ts,
+                tracer=self.tracer,
             )
             self.tsds.append(tsd)
 
@@ -172,7 +189,8 @@ class TsdbCluster:
                 self.network,
                 self.tsds,
                 max_in_flight=config.resolved_proxy_window(),
-                metrics=self.metrics,
+                metrics=self.telemetry.registry("proxy"),
+                tracer=self.tracer,
             )
         else:
             self.ingress = DirectSubmitter(
@@ -187,6 +205,13 @@ class TsdbCluster:
 
     def query_engine(self) -> QueryEngine:
         return QueryEngine(self.master, self.uids, self.codec)
+
+    def self_reporter(self, interval: float = 0.25, chaos_report=None) -> "SelfReporter":
+        """A :class:`~repro.obs.SelfReporter` flushing this deployment's
+        telemetry back into its own TSDB as ``tsd.*``/``proxy.*`` series."""
+        from ..obs.selfreport import SelfReporter
+
+        return SelfReporter(self, interval=interval, chaos_report=chaos_report)
 
     def compactor(self) -> "RowCompactor":
         """A row compactor wired to this deployment's write clock."""

@@ -33,6 +33,7 @@ The E7 ablation compares this against a fire-and-forget path
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Callable, Deque, List, Optional, Sequence
 
@@ -41,6 +42,8 @@ import numpy as np
 from ..cluster.metrics import MetricsRegistry
 from ..cluster.network import Network
 from ..cluster.simulation import EventHandle, Simulator
+from ..obs.telemetry import component_registry
+from ..obs.trace import NULL_SPAN, SpanLike, Tracer
 from .tsd import DataPoint, PutAck, TSDaemon
 
 __all__ = ["ReverseProxy", "DirectSubmitter", "TsdBreaker"]
@@ -126,29 +129,40 @@ class _BatchState:
     ``written + failed == len(original points)``.
     """
 
-    __slots__ = ("remaining", "on_ack", "attempts", "written", "submitted_at")
+    __slots__ = ("remaining", "on_ack", "attempts", "written", "submitted_at",
+                 "batch_id", "span")
 
     def __init__(
-        self, points: List[DataPoint], on_ack: Optional[AckCallback], submitted_at: float
+        self,
+        points: List[DataPoint],
+        on_ack: Optional[AckCallback],
+        submitted_at: float,
+        batch_id: int = 0,
+        span: SpanLike = NULL_SPAN,
     ) -> None:
         self.remaining = points
         self.on_ack = on_ack
         self.attempts = 0
         self.written = 0
         self.submitted_at = submitted_at
+        self.batch_id = batch_id
+        self.span = span
 
 
 class _Dispatch:
     """One wire-level attempt of a batch; guards against double resolution."""
 
-    __slots__ = ("state", "tsd_index", "sent", "resolved", "timeout_handle")
+    __slots__ = ("state", "tsd_index", "sent", "resolved", "timeout_handle", "span")
 
-    def __init__(self, state: _BatchState, tsd_index: int, sent: int) -> None:
+    def __init__(
+        self, state: _BatchState, tsd_index: int, sent: int, span: SpanLike = NULL_SPAN
+    ) -> None:
         self.state = state
         self.tsd_index = tsd_index
         self.sent = sent
         self.resolved = False
         self.timeout_handle: Optional[EventHandle] = None
+        self.span = span
 
 
 class ReverseProxy:
@@ -193,6 +207,7 @@ class ReverseProxy:
         ack_timeout: Optional[float] = 5.0,
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not tsds:
             raise ValueError("proxy needs at least one TSD")
@@ -212,7 +227,9 @@ class ReverseProxy:
         self.max_backoff = max_backoff
         self.max_batch_retries = max_batch_retries
         self.ack_timeout = ack_timeout
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else component_registry("proxy")
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._batch_seq = itertools.count(1)
         self._rng = np.random.default_rng(seed)
         self.breakers: Optional[List[TsdBreaker]] = (
             [TsdBreaker(failure_threshold, eject_duration) for _ in tsds]
@@ -235,7 +252,11 @@ class ReverseProxy:
     # ------------------------------------------------------------------
     def submit(self, points: List[DataPoint], on_ack: Optional[AckCallback] = None) -> None:
         """Accept a put batch; buffered if the in-flight window is full."""
-        self._enqueue(_BatchState(points, on_ack, self.sim.now))
+        batch_id = next(self._batch_seq)
+        # Root span of the batch's trace: submit() to final aggregate
+        # ack, spanning every dispatch/retry in between.
+        span = self.tracer.begin("proxy.batch", batch_id=batch_id, points=len(points))
+        self._enqueue(_BatchState(points, on_ack, self.sim.now, batch_id, span))
 
     def _enqueue(self, state: _BatchState) -> None:
         self._buffer.append(state)
@@ -302,7 +323,14 @@ class ReverseProxy:
         tsd = self.tsds[idx]
         if self.breakers is not None:
             self.breakers[idx].on_dispatch(self.sim.now)
-        dispatch = _Dispatch(state, idx, len(state.remaining))
+        route_span = self.tracer.begin(
+            "proxy.route",
+            parent=state.span,
+            batch_id=state.batch_id,
+            tsd=tsd.name,
+            attempt=state.attempts,
+        )
+        dispatch = _Dispatch(state, idx, len(state.remaining), route_span)
         self._in_flight += 1
         self.dispatched += 1
         if self.ack_timeout is not None:
@@ -316,12 +344,14 @@ class ReverseProxy:
             state.remaining,
             lambda ack: self._on_tsd_ack(dispatch, ack),
             self.host,
+            state.batch_id,
         )
         if handle is None:
             # The network dropped the send (partition): fail fast rather
             # than waiting out the ack timeout.  No _drain() here — this
             # runs inside the _drain loop, which continues on its own.
             self._settle(dispatch)
+            dispatch.span.end(outcome="partition-drop")
             if self.breakers is not None:
                 self.breakers[idx].record_failure(self.sim.now)
             self._retry_later(state)
@@ -334,6 +364,11 @@ class ReverseProxy:
             self.metrics.counter("proxy.late_acks").inc()
             return
         self._settle(dispatch)
+        dispatch.span.end(
+            outcome="ack" if ack.written >= dispatch.sent else
+            ("partial" if ack.written > 0 else "bounce"),
+            written=ack.written,
+        )
         state = dispatch.state
         if ack.written >= dispatch.sent:
             # Fully written: the batch is done.
@@ -363,6 +398,7 @@ class ReverseProxy:
         if dispatch.resolved:
             return
         self._settle(dispatch)
+        dispatch.span.end(outcome="timeout")
         self.ack_timeouts += 1
         self.metrics.counter("proxy.ack_timeouts").inc()
         if self.breakers is not None:
@@ -405,6 +441,12 @@ class ReverseProxy:
             self.sim.now - state.submitted_at
         )
         failed = 0 if ok else len(state.remaining)
+        state.span.end(
+            outcome="ok" if ok else "failed",
+            written=state.written,
+            failed=failed,
+            tsd=tsd,
+        )
         if state.on_ack is not None:
             state.on_ack(PutAck(ok and failed == 0, state.written, failed, tsd))
 

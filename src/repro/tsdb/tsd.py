@@ -27,6 +27,8 @@ from ..hbase.bytescodec import encode_f64
 from ..hbase.client import HTableClient
 from ..hbase.master import HMaster
 from ..hbase.region import Cell
+from ..obs.telemetry import component_registry
+from ..obs.trace import NULL_SPAN, SpanLike, Tracer
 from .rowkey import RowKeyCodec
 from .uid import UniqueIdRegistry
 
@@ -81,13 +83,21 @@ class TSDServiceModel:
 class _BatchContext:
     """Refcount tracker tying buffered cells back to their inbound batch."""
 
-    __slots__ = ("pending", "written", "failed", "reply")
+    __slots__ = ("pending", "written", "failed", "reply", "batch_id", "span")
 
-    def __init__(self, n_points: int, reply: Callable[[PutAck], None]) -> None:
+    def __init__(
+        self,
+        n_points: int,
+        reply: Callable[[PutAck], None],
+        batch_id: Optional[int] = None,
+        span: SpanLike = NULL_SPAN,
+    ) -> None:
         self.pending = n_points
         self.written = 0
         self.failed = 0
         self.reply = reply
+        self.batch_id = batch_id
+        self.span = span
 
 
 class TSDaemon:
@@ -121,6 +131,7 @@ class TSDaemon:
         service_model: Optional[TSDServiceModel] = None,
         metrics: Optional[MetricsRegistry] = None,
         write_ts: Optional[Callable[[], float]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if rpc_batch_size < 1:
             raise ValueError("rpc_batch_size must be >= 1")
@@ -133,7 +144,8 @@ class TSDaemon:
         self.rpc_batch_size = rpc_batch_size
         self.flush_interval = flush_interval
         self.service_model = service_model if service_model is not None else TSDServiceModel()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else component_registry("tsd")
+        self.tracer = tracer if tracer is not None else Tracer()
         self.http_server = Server(sim, name, queue_capacity, self.metrics)
         node.add_server(self.http_server)
         if write_ts is None:
@@ -188,35 +200,58 @@ class TSDaemon:
         points: List[DataPoint],
         reply_to: Callable[[PutAck], None],
         src_host: str,
+        batch_id: Optional[int] = None,
     ) -> None:
-        """Accept a batch of points (async); ack routed back over the network."""
+        """Accept a batch of points (async); ack routed back over the network.
+
+        ``batch_id`` is trace correlation only (stamped by the proxy) —
+        it ties this daemon's ingest span to the proxy's batch trace.
+        """
         if self.crashed:
             # Dead process: the batch vanishes without an ack.
             self.batches_swallowed += 1
             self.metrics.counter("tsd.batches_swallowed").inc(label=self.name)
             return
+        # Covers HTTP queueing + parse/encode service + HBase round trips
+        # until the last cell of the batch is durably acked.
+        span = self.tracer.begin(
+            "tsd.ingest", batch_id=batch_id, tsd=self.name, points=len(points)
+        )
         cost = self.service_model.batch_cost(len(points))
         accepted = self.http_server.submit(
             points,
             cost,
-            on_done=lambda pts: self._process(pts, reply_to, src_host),
-            on_reject=lambda pts: self._reject(pts, reply_to, src_host),
+            on_done=lambda pts: self._process(pts, reply_to, src_host, batch_id, span),
+            on_reject=lambda pts: self._reject(pts, reply_to, src_host, span),
         )
         if accepted:
             self.metrics.counter("tsd.batches_accepted").inc(label=self.name)
 
     def _reject(
-        self, points: List[DataPoint], reply_to: Callable[[PutAck], None], src_host: str
+        self,
+        points: List[DataPoint],
+        reply_to: Callable[[PutAck], None],
+        src_host: str,
+        span: SpanLike = NULL_SPAN,
     ) -> None:
+        span.end(outcome="rejected")
         self.metrics.counter("tsd.batches_rejected").inc(label=self.name)
         self._send_ack(reply_to, src_host, PutAck(False, 0, len(points), self.name))
 
     def _process(
-        self, points: List[DataPoint], reply_to: Callable[[PutAck], None], src_host: str
+        self,
+        points: List[DataPoint],
+        reply_to: Callable[[PutAck], None],
+        src_host: str,
+        batch_id: Optional[int] = None,
+        span: SpanLike = NULL_SPAN,
     ) -> None:
         self.points_received += len(points)
         ctx = _BatchContext(
-            len(points), lambda ack: self._send_ack(reply_to, src_host, ack)
+            len(points),
+            lambda ack: self._send_ack(reply_to, src_host, ack),
+            batch_id=batch_id,
+            span=span,
         )
         for point in points:
             cell = self.encode_point(point)
@@ -260,6 +295,17 @@ class TSDaemon:
             return
         cells = [cell for cell, _ in entries]
         unresolved = [ctx for _, ctx in entries]
+        batch_ids: tuple = ()
+        flush_span: SpanLike = NULL_SPAN
+        if self.tracer.enabled:
+            # One flush coalesces cells from several inbound batches;
+            # the span lists every one so each batch trace includes it.
+            batch_ids = tuple(
+                sorted({c.batch_id for c in unresolved if c.batch_id is not None})
+            )
+            flush_span = self.tracer.begin(
+                "hbase.put", tsd=self.name, cells=len(cells), batch_ids=batch_ids
+            )
 
         def on_done(ok: bool, count: int) -> None:
             # The client may resolve the batch in parts (retries can
@@ -274,13 +320,16 @@ class TSDaemon:
                 else:
                     c.failed += 1
                 if c.pending == 0:
+                    c.span.end(written=c.written, failed=c.failed)
                     c.reply(PutAck(c.failed == 0, c.written, c.failed, self.name))
+            if not unresolved:
+                flush_span.end(ok=ok)
             if ok:
                 self.points_written += count
             else:
                 self.points_failed += count
 
-        self.client.put(DATA_TABLE, cells, on_done)
+        self.client.put(DATA_TABLE, cells, on_done, batch_ids=batch_ids)
 
     def flush_all(self) -> None:
         """Flush every buffered bucket immediately (shutdown/drain hook)."""

@@ -24,12 +24,31 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..tsdb.query import QueryEngine
+from ..tsdb.query import QueryEngine, TsdbQuery
 from .analytics import FleetAnalytics, SensorActivity
 from .sparkline import SparklineStyle, render_detail_chart, render_sparkline
 from .statusbar import HealthGrade, UnitStatus, grade_counts, render_status_bar
 
 __all__ = ["DashboardConfig", "Dashboard"]
+
+#: Metric-name prefixes that identify SelfReporter write-back series
+#: (one per telemetry routing namespace, plus the chaos edge series).
+_SELF_METRIC_PREFIXES = (
+    "proxy.",
+    "tsd.",
+    "client.",
+    "regionserver.",
+    "rpc.",
+    "cells.",
+    "engine.",
+    "pipeline.",
+    "publish.",
+    "chaos.",
+)
+
+#: Self-telemetry timestamps run on the simulator clock, not the data
+#: timeline, so the platform panel scans the whole axis by default.
+_SELF_METRIC_HORIZON = 2**31 - 1
 
 _CSS = """
 body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
@@ -73,6 +92,8 @@ class DashboardConfig:
     max_sparklines: int = 60  # sensors shown in the machine-page grid
     max_details: int = 4  # drill-down charts per machine page
     sparkline_style: SparklineStyle = SparklineStyle()
+    show_platform_health: bool = True  # self-telemetry panel on the index
+    max_health_rows: int = 40  # (metric, host) rows in that panel
 
 
 class Dashboard:
@@ -140,8 +161,67 @@ class Dashboard:
             "<th>sensors affected</th><th>unit alarms</th></tr>"
             f"{''.join(rows)}</table></div>"
         )
+        if self.config.show_platform_health:
+            body += self.platform_health_html()
         return self._page(
             self.config.title, f"fleet overview · t ∈ [{start}, {end})", body
+        )
+
+    def platform_health_html(self, start: int = 0, end: Optional[int] = None) -> str:
+        """The platform-health panel: self-telemetry read back from the TSDB.
+
+        Discovers the ``proxy.*``/``tsd.*``/``engine.*``/… series the
+        :class:`~repro.obs.selfreport.SelfReporter` wrote into the store
+        and renders one row per (metric, host) with the latest value and
+        a trend sparkline — the platform monitoring itself through its
+        own query path.  Returns an empty string when no self-telemetry
+        exists (self-reporting off), so the overview degrades to the
+        pure fleet view.
+        """
+        horizon = _SELF_METRIC_HORIZON if end is None else end
+        names = sorted(
+            name
+            for name in self.engine.uids.names("metric")
+            if name.startswith(_SELF_METRIC_PREFIXES)
+        )
+        no_anomalies = np.empty(0, dtype=np.int64)
+        rows: List[str] = []
+        total = 0
+        for name in names:
+            query = TsdbQuery(
+                metric=name, start=start, end=horizon, group_by=("host",)
+            )
+            for series in self.engine.run(query):
+                if not len(series):
+                    continue
+                total += 1
+                if len(rows) >= self.config.max_health_rows:
+                    continue
+                host = series.tag_dict.get("host", "?")
+                spark = render_sparkline(
+                    series.timestamps,
+                    series.values,
+                    no_anomalies,
+                    self.config.sparkline_style,
+                    tooltip=f"{name} host={host}",
+                )
+                rows.append(
+                    "<tr>"
+                    f"<td>{html.escape(name)}</td><td>{html.escape(host)}</td>"
+                    f"<td>{len(series)}</td><td>{series.values[-1]:.4g}</td>"
+                    f"<td>{spark}</td></tr>"
+                )
+        if not rows:
+            return ""
+        shown = (
+            f"<div class='meta'>showing {len(rows)} of {total} self-metric series</div>"
+            if total > len(rows)
+            else ""
+        )
+        return (
+            "<div class='panel'><h2>Platform health</h2><table>"
+            "<tr><th>self-metric</th><th>host</th><th>points</th>"
+            f"<th>last</th><th>trend</th></tr>{''.join(rows)}</table>{shown}</div>"
         )
 
     def machine_page_html(self, unit_id: int, start: int, end: int) -> str:

@@ -1,5 +1,7 @@
 """Tests for series aggregation, downsampling and rate conversion."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -72,9 +74,22 @@ class TestAggregate:
         assert aggregate([a, b], "count").values[0] == 2.0
         assert aggregate([a, b], "dev").values[0] == 2.0
 
-    def test_single_series_passthrough(self):
-        a = series([0, 1], [1.0, 2.0])
-        assert aggregate([a], "sum") is a
+    def test_single_series_same_schema_as_many(self):
+        # Regression: the 1-series shortcut used to return series[0]
+        # untouched, so the output schema depended on how many series
+        # matched the group-by.
+        a = series([0, 1], [1.0, 2.0], tags=(("unit", "u1"), ("host", "h1")))
+        out = aggregate([a], "sum")
+        assert list(out.timestamps) == [0, 1]
+        assert list(out.values) == [1.0, 2.0]
+        assert out.values.dtype == np.float64
+        # Trivially common across one input, in the N-series sorted order.
+        assert out.tags == tuple(sorted(a.tags))
+
+    def test_single_series_count_and_dev_semantics(self):
+        a = series([0, 1], [4.0, 9.0])
+        assert list(aggregate([a], "count").values) == [1.0, 1.0]
+        assert list(aggregate([a], "dev").values) == [0.0, 0.0]
 
     def test_common_tags_kept(self):
         a = series([0], [1.0], tags=(("unit", "u1"), ("sensor", "s1")))
@@ -89,6 +104,59 @@ class TestAggregate:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             aggregate([], "sum")
+
+
+class TestAllNanColumnsWarningClean:
+    """Regression: nan-aggregators over all-NaN columns must not warn.
+
+    Run with RuntimeWarning promoted to an error (the same
+    ``-W error::RuntimeWarning`` discipline the tier-1 gate applies to
+    ``repro.tsdb.aggregation``) so a reintroduced warning fails loudly.
+    """
+
+    @staticmethod
+    def _all_nan_stack():
+        stack = np.full((3, 4), np.nan)
+        stack[:, 0] = [1.0, 2.0, 3.0]  # one live column, three all-NaN
+        return stack
+
+    @pytest.mark.parametrize("name", ["avg", "min", "max", "dev"])
+    def test_stack_aggregators_silent_on_all_nan(self, name):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            out = AGGREGATORS[name](self._all_nan_stack())
+        assert not np.isnan(out[0])
+        assert np.all(np.isnan(out[1:]))
+
+    def test_sum_keeps_zero_for_all_nan(self):
+        # np.nansum never warns and documents all-NaN -> 0.0; the
+        # masking fix must not change that.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            out = AGGREGATORS["sum"](self._all_nan_stack())
+        assert out[0] == 6.0
+        assert np.all(out[1:] == 0.0)
+
+    def test_live_columns_bit_identical_to_unmasked(self):
+        rng = np.random.default_rng(7)
+        stack = rng.normal(size=(4, 6))
+        stack[1, 2] = np.nan  # sparse, but no all-NaN column
+        for name in ("avg", "min", "max", "dev"):
+            masked = AGGREGATORS[name](stack)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                reference = getattr(np, f"nan{name.replace('avg', 'mean').replace('dev', 'std')}")(
+                    stack, axis=0
+                )
+            assert np.array_equal(masked, reference)
+
+    def test_downsample_all_nan_window_silent(self):
+        s = series([0, 1, 12], [np.nan, np.nan, 5.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            out = downsample(s, 10, "avg")
+        assert np.isnan(out.values[0])
+        assert out.values[1] == 5.0
 
 
 class TestDownsample:

@@ -58,6 +58,19 @@ class TestGauge:
         g.add(-1.0)
         assert g.value == 2.0
 
+    def test_untouched_watermarks_are_zero_not_inf(self):
+        # Regression: a never-set gauge used to report max=-inf/min=+inf.
+        g = Gauge("g")
+        assert g.max_value == 0.0
+        assert g.min_value == 0.0
+        assert not math.isinf(g.max_value)
+
+    def test_first_set_initialises_both_watermarks(self):
+        g = Gauge("g")
+        g.set(-3.0)
+        assert g.max_value == -3.0
+        assert g.min_value == -3.0
+
 
 class TestTimeSeriesRecorder:
     def test_records_in_order(self):
@@ -145,6 +158,34 @@ class TestLatencyHistogram:
         with pytest.raises(ValueError):
             LatencyHistogram("h", bounds=(0.5, 0.1))
 
+    def test_quantile_zero_skips_empty_leading_buckets(self):
+        # Regression: acc >= target with target == 0 returned bounds[0]
+        # even when every observation landed in a later bucket.
+        h = LatencyHistogram("h", bounds=(0.001, 0.01, 0.1))
+        h.observe(0.05)  # second-to-last bucket only
+        assert h.quantile(0.0) == 0.1
+        assert h.quantile(0.0) != h.bounds[0]
+
+    def test_quantile_one_is_largest_occupied_bound(self):
+        h = LatencyHistogram("h", bounds=(0.001, 0.01, 0.1))
+        h.observe(0.0005)
+        h.observe(0.05)
+        assert h.quantile(1.0) == 0.1
+
+    def test_quantile_single_bucket(self):
+        h = LatencyHistogram("h", bounds=(0.001, 0.01, 0.1))
+        for _ in range(10):
+            h.observe(0.005)
+        # All mass in one bucket: every quantile is that bucket's bound.
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.01
+
+    def test_quantile_overflow_bucket_uses_max_seen(self):
+        h = LatencyHistogram("h", bounds=(0.001,))
+        h.observe(7.5)
+        assert h.quantile(0.0) == 7.5
+        assert h.quantile(1.0) == 7.5
+
 
 class TestRegistry:
     def test_same_name_returns_same_object(self):
@@ -162,8 +203,11 @@ class TestSkewRatio:
     def test_single_hot_shard(self):
         assert skew_ratio([100, 0, 0, 0]) == 4.0
 
-    def test_empty_is_nan(self):
-        assert math.isnan(skew_ratio([]))
+    def test_empty_raises(self):
+        # Regression: empty input used to return nan, indistinguishable
+        # from the legitimate all-zero "no load yet" case.
+        with pytest.raises(ValueError):
+            skew_ratio([])
 
     def test_all_zero_is_nan(self):
         assert math.isnan(skew_ratio([0, 0]))

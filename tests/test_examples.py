@@ -60,6 +60,15 @@ class TestExamples:
         assert "breaker ejections" in out
         assert "conservation holds" in out
 
+    def test_observability_demo(self, capsys):
+        run_example("observability_demo.py")
+        out = capsys.readouterr().out
+        assert "flame summary for ingest batch" in out
+        assert "proxy.batch" in out and "regionserver.put" in out
+        assert "proxy.ack_latency.p99" in out
+        assert "exported to" in out
+        assert "platform-health panel" in out
+
     # fleet_dashboard.py and ingestion_scaling.py run multi-minute
     # simulations; they are exercised by benchmarks/bench_dashboard.py
     # and the E1/E6/E7 benches respectively rather than here.

@@ -1,0 +1,179 @@
+"""Property-based tests for the telemetry primitives (hypothesis).
+
+The example-based suites in ``test_cluster_metrics.py`` and
+``test_aggregation.py`` pin the fixed regressions; these properties pin
+the *invariants* the observability layer depends on across arbitrary
+inputs:
+
+* :meth:`LatencyHistogram.quantile` is monotone in ``q`` and bounded by
+  what was actually observed;
+* histogram bucket counts conserve the observation count exactly;
+* :meth:`TimeSeriesRecorder.resample` is a faithful step function of
+  the recorded observations;
+* ``downsample``/``aggregate`` produce a tag/dtype/timestamp schema
+  that does not depend on how many series matched the query.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.metrics import LatencyHistogram, TimeSeriesRecorder
+from repro.tsdb.aggregation import AGGREGATORS, Series, aggregate, downsample
+
+# Shared size caps keep the suite fast; invariants do not need scale.
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=1, max_size=60
+)
+bounds_strategy = st.lists(
+    st.floats(min_value=1e-4, max_value=4.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+    unique=True,
+).map(sorted)
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(latencies, bounds_strategy, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_quantile_monotone_in_q(observations, bounds, q1, q2):
+    hist = LatencyHistogram("h", bounds)
+    for value in observations:
+        hist.observe(value)
+    lo, hi = sorted((q1, q2))
+    assert hist.quantile(lo) <= hist.quantile(hi)
+
+
+@_SETTINGS
+@given(latencies, bounds_strategy)
+def test_quantile_bounded_by_observations(observations, bounds):
+    hist = LatencyHistogram("h", bounds)
+    for value in observations:
+        hist.observe(value)
+    # q=0 is the smallest occupied bucket's bound; q=1 covers the
+    # largest observation (its bucket bound, or max_seen on overflow).
+    assert hist.quantile(1.0) >= hist.max_seen
+    occupied = [
+        hist.bounds[i] if i < len(hist.bounds) else hist.max_seen
+        for i, n in enumerate(hist.buckets)
+        if n
+    ]
+    assert hist.quantile(0.0) == occupied[0]
+    assert hist.quantile(1.0) == occupied[-1]
+
+
+@_SETTINGS
+@given(latencies, bounds_strategy)
+def test_count_conservation(observations, bounds):
+    hist = LatencyHistogram("h", bounds)
+    for value in observations:
+        hist.observe(value)
+    assert sum(hist.buckets) == hist.count == len(observations)
+    assert hist.total == sum(observations)
+
+
+# ----------------------------------------------------------------------
+# TimeSeriesRecorder.resample
+# ----------------------------------------------------------------------
+observation_series = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+).map(lambda pairs: sorted(pairs, key=lambda p: p[0]))
+
+
+@_SETTINGS
+@given(observation_series, st.floats(min_value=0.05, max_value=5.0))
+def test_resample_is_the_step_function_of_observations(observations, step):
+    recorder = TimeSeriesRecorder("r")
+    for t, v in observations:
+        recorder.record(t, v)
+    grid = recorder.resample(step)
+    assert grid, "a non-empty recorder resamples to a non-empty grid"
+    times = [t for t, _ in grid]
+    assert times[0] == 0.0
+    assert np.allclose(np.diff(times), step)
+    assert times[-1] >= observations[-1][0] - step  # grid reaches the end
+    for t, v in grid:
+        # Reference semantics: last observation at or before t, else 0.
+        expected = 0.0
+        for ot, ov in observations:
+            if ot <= t + 1e-12:
+                expected = ov
+            else:
+                break
+        assert v == expected
+
+
+# ----------------------------------------------------------------------
+# downsample / aggregate schema consistency
+# ----------------------------------------------------------------------
+@st.composite
+def series_strategy(draw):
+    times = draw(
+        st.lists(st.integers(0, 500), min_size=1, max_size=25, unique=True).map(sorted)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-50, 50, allow_nan=False),
+            min_size=len(times),
+            max_size=len(times),
+        )
+    )
+    return Series(
+        (("unit", "u1"), ("host", "h1")),
+        np.array(times, dtype=np.int64),
+        np.array(values, dtype=np.float64),
+    )
+
+
+@_SETTINGS
+@given(series_strategy(), st.sampled_from(sorted(AGGREGATORS)))
+def test_single_series_aggregate_schema(series, aggregator):
+    out = aggregate([series], aggregator)
+    # Same schema as the N-series path: sorted common tags, float64
+    # values, the union (here: identity) timestamp grid.
+    assert out.tags == tuple(sorted(series.tags))
+    assert out.values.dtype == np.float64
+    assert np.array_equal(out.timestamps, series.timestamps)
+    if aggregator == "count":
+        assert np.array_equal(out.values, np.ones(len(series)))
+    elif aggregator == "dev":
+        assert np.array_equal(out.values, np.zeros(len(series)))
+
+
+@_SETTINGS
+@given(
+    st.lists(series_strategy(), min_size=1, max_size=4),
+    st.sampled_from(sorted(AGGREGATORS)),
+)
+def test_aggregate_output_grid_is_the_union(many, aggregator):
+    out = aggregate(many, aggregator)
+    union = np.unique(np.concatenate([s.timestamps for s in many]))
+    assert np.array_equal(out.timestamps, union)
+    assert len(out.values) == len(union)
+    # Every aligned column has at least one sample, so no NaN escapes
+    # for any aggregator on the union grid of whole series.
+    if aggregator != "dev":  # dev of one sample is 0, never NaN either
+        assert not np.isnan(out.values).any()
+
+
+@_SETTINGS
+@given(
+    series_strategy(),
+    st.integers(min_value=1, max_value=60),
+    st.sampled_from(sorted(AGGREGATORS)),
+)
+def test_downsample_schema(series, window, aggregator):
+    out = downsample(series, window, aggregator)
+    assert out.tags == series.tags
+    assert np.all(out.timestamps % window == 0)  # window-start convention
+    assert np.all(np.diff(out.timestamps) > 0)
+    assert len(out) == len(np.unique(series.timestamps // window))

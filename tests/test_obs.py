@@ -1,0 +1,425 @@
+"""The observability layer: telemetry routing, tracing, self-telemetry.
+
+Covers the three tentpole pieces end to end:
+
+* :class:`repro.obs.Telemetry` — one registry per component tree with
+  name-based routing, so a metric is the same object no matter which
+  component's view touches it;
+* :class:`repro.obs.Tracer` — span tracing with batch-id correlation
+  across the simulated ingest path (proxy → TSD → HBase client →
+  RegionServer) and a zero-cost disabled path;
+* :class:`repro.obs.SelfReporter` — telemetry snapshots written back
+  into the simulated TSDB and queryable through the ordinary
+  :class:`~repro.tsdb.query.QueryEngine`, including chaos fault
+  windows.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import lint_source
+from repro.analysis.rules import RogueRegistryRule
+from repro.chaos.report import ChaosReport
+from repro.cluster.metrics import MetricsRegistry
+from repro.core.pipeline import AnomalyPipeline, PipelineConfig
+from repro.obs import (
+    NULL_SPAN,
+    ScopedRegistry,
+    SelfReporter,
+    Telemetry,
+    Tracer,
+    component_registry,
+)
+from repro.simdata import FleetConfig, FleetGenerator, fleet_stream
+from repro.tsdb.ingest import IngestionDriver, build_cluster
+from repro.tsdb.query import TsdbQuery
+from repro.viz.dashboard import Dashboard, DashboardConfig
+
+
+# ----------------------------------------------------------------------
+# telemetry routing
+# ----------------------------------------------------------------------
+class TestTelemetryRouting:
+    def test_same_metric_identity_from_every_view(self):
+        telemetry = Telemetry()
+        from_proxy = telemetry.registry("proxy").counter("proxy.retries")
+        from_tsd = telemetry.registry("tsd").counter("proxy.retries")
+        from_root = telemetry.root.counter("proxy.retries")
+        assert from_proxy is from_tsd is from_root
+
+    def test_routes_by_first_segment(self):
+        telemetry = Telemetry()
+        assert telemetry.component_for("proxy.ack_latency") == "proxy"
+        assert telemetry.component_for("tsd.batches_rejected") == "tsd"
+        assert telemetry.component_for("client.retries") == "tsd"
+        assert telemetry.component_for("rpc.rejected") == "regionserver"
+        assert telemetry.component_for("cells.written") == "regionserver"
+        assert telemetry.component_for("pipeline.units") == "engine"
+        assert telemetry.component_for("publish.data.acks") == "publisher"
+        assert telemetry.component_for("something.else") == "cluster"
+
+    def test_storage_lives_in_trees_not_views(self):
+        telemetry = Telemetry()
+        view = telemetry.registry("proxy")
+        view.counter("proxy.retries").inc(3)
+        view.gauge("tsd.queue").set(1.0)
+        # The view is a drop-in MetricsRegistry but holds nothing itself.
+        assert isinstance(view, MetricsRegistry)
+        assert not view.counters and not view.gauges
+        assert telemetry.tree("proxy").counter("proxy.retries").get() == 3
+        assert "tsd.queue" in telemetry.tree("tsd").gauges
+
+    def test_components_lists_created_trees(self):
+        telemetry = Telemetry()
+        telemetry.counter("proxy.x")
+        telemetry.counter("engine.y")
+        assert set(telemetry.components()) >= {"cluster", "proxy", "engine"}
+
+    def test_component_registry_is_standalone(self):
+        a = component_registry()
+        b = component_registry("tsd")
+        assert isinstance(a, ScopedRegistry)
+        a.counter("proxy.retries").inc()
+        assert b.counter("proxy.retries").get() == 0  # private telemetries
+
+    def test_samples_flatten_counters_gauges_histograms(self):
+        telemetry = Telemetry()
+        telemetry.counter("tsd.batches_rejected").inc(2, label="tsd00")
+        telemetry.gauge("proxy.buffered").set(7.0)
+        hist = telemetry.histogram("proxy.ack_latency")
+        hist.observe(0.01)
+        hist.observe(0.02)
+        rows = {(s.name, s.host): s.value for s in telemetry.samples()}
+        assert rows[("tsd.batches_rejected", "tsd")] == 2.0
+        assert rows[("tsd.batches_rejected", "tsd00")] == 2.0
+        assert rows[("proxy.buffered", "proxy")] == 7.0
+        assert ("proxy.ack_latency.p99", "proxy") in rows
+        assert rows[("proxy.ack_latency.count", "proxy")] == 2.0
+
+    def test_empty_histograms_are_skipped(self):
+        telemetry = Telemetry()
+        telemetry.histogram("proxy.ack_latency")
+        assert telemetry.samples() == []
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_returns_the_null_span_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.begin("b", batch_id=1) is NULL_SPAN
+        with tracer.span("c") as sp:
+            sp.annotate(x=1)
+            sp.end()
+        assert len(tracer) == 0
+
+    def test_with_spans_nest_via_tls(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].start >= by_name["outer"].start
+
+    def test_begin_takes_explicit_parent_and_inherits_batch(self):
+        tracer = Tracer(enabled=True)
+        root = tracer.begin("proxy.batch", batch_id=9)
+        child = tracer.begin("proxy.route", parent=root)
+        child.end()
+        root.end()
+        child_rec = next(r for r in tracer.records if r.name == "proxy.route")
+        assert child_rec.parent_id == root.span_id
+        assert child_rec.batch_id == 9  # inherited from the parent span
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.begin("once")
+        span.end(outcome="ok")
+        span.end(outcome="late-duplicate")
+        assert len(tracer) == 1
+        assert tracer.records[0].field_dict()["outcome"] == "ok"
+
+    def test_batch_trace_includes_coalesced_flushes(self):
+        tracer = Tracer(enabled=True)
+        tracer.begin("proxy.batch", batch_id=1).end()
+        tracer.begin("proxy.batch", batch_id=2).end()
+        tracer.begin("hbase.put", batch_ids=(1, 2)).end()
+        assert tracer.batch_ids() == [1, 2]
+        names = [r.name for r in tracer.batch_trace(1)]
+        assert names == ["proxy.batch", "hbase.put"]
+        assert tracer.components(2) == ["hbase", "proxy"]
+
+    def test_flame_and_json_export(self, tmp_path):
+        clock = iter([0.0, 1.0, 1.5, 2.0]).__next__
+        tracer = Tracer(enabled=True, clock=clock)
+        root = tracer.begin("proxy.batch", batch_id=3, points=10)
+        child = tracer.begin("proxy.route", parent=root, tsd="tsd00")
+        child.end()
+        root.end()
+        flame = tracer.flame(3)
+        assert "proxy.batch" in flame and "  proxy.route" in flame
+        assert "batch=3" in flame
+
+        out = tracer.export_json(tmp_path / "trace.json")
+        spans = json.loads(out.read_text())
+        assert [s["name"] for s in spans] == ["proxy.batch", "proxy.route"]
+        assert spans[0]["duration"] == pytest.approx(2.0)
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+
+
+# ----------------------------------------------------------------------
+# end-to-end batch tracing through the simulated ingest path
+# ----------------------------------------------------------------------
+class TestIngestPathTracing:
+    def _traced_run(self, trace):
+        generator = FleetGenerator(FleetConfig(n_units=2, n_sensors=4, seed=11))
+        cluster = build_cluster(n_nodes=2, retain_data=True, trace=trace)
+        workload = fleet_stream(generator, n_samples=20, batch_size=40)
+        driver = IngestionDriver(cluster, workload, offered_rate=4_000, batch_size=40)
+        report = driver.run(1.0, drain=5.0)
+        assert report.committed_samples == 2 * 4 * 20
+        return cluster
+
+    def test_batch_followed_across_all_components(self):
+        cluster = self._traced_run(trace=True)
+        tracer = cluster.tracer
+        batch_ids = tracer.batch_ids()
+        assert batch_ids, "traced run recorded no batches"
+        batch = batch_ids[0]
+        comps = tracer.components(batch)
+        assert {"proxy", "tsd", "hbase", "regionserver"} <= set(comps)
+        trace = tracer.batch_trace(batch)
+        # The proxy's root span brackets the whole delivery.
+        root = next(r for r in trace if r.name == "proxy.batch")
+        assert root.parent_id is None
+        assert root.field_dict()["outcome"] == "ok"
+        routes = [r for r in trace if r.name == "proxy.route"]
+        assert routes and all(r.parent_id == root.span_id for r in routes)
+        # Span timestamps are sim-seconds and properly ordered.
+        assert all(r.end >= r.start for r in trace)
+
+    def test_untraced_run_records_nothing(self):
+        cluster = self._traced_run(trace=False)
+        assert len(cluster.tracer) == 0
+
+
+# ----------------------------------------------------------------------
+# self-telemetry write-back
+# ----------------------------------------------------------------------
+class TestSelfReporter:
+    def _active_cluster(self):
+        generator = FleetGenerator(FleetConfig(n_units=2, n_sensors=4, seed=5))
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        workload = fleet_stream(generator, n_samples=20, batch_size=40)
+        driver = IngestionDriver(cluster, workload, offered_rate=4_000, batch_size=40)
+        driver.run(1.0, drain=5.0)
+        return cluster
+
+    def test_flush_makes_platform_metrics_queryable(self):
+        cluster = self._active_cluster()
+        reporter = cluster.self_reporter()
+        written = reporter.flush()
+        assert written > 0
+        assert "proxy.ack_latency.p99" in reporter.series_written()
+        assert "tsd.batches_accepted" in reporter.series_written()
+
+        engine = cluster.query_engine()
+        end = int(cluster.sim.now) + 10
+        series = engine.run(TsdbQuery("tsd.batches_accepted", 0, end,
+                                      tag_filters={"host": "tsd"}))
+        assert len(series) == 1
+        total = cluster.metrics.counter("tsd.batches_accepted").get()
+        assert series[0].values[-1] == total
+
+    def test_periodic_flushing_builds_a_time_series(self):
+        cluster = self._active_cluster()
+        reporter = cluster.self_reporter(interval=0.5)
+        reporter.start()
+        cluster.sim.run(until=cluster.sim.now + 3.0)
+        reporter.stop()
+        assert reporter.flushes >= 3
+        engine = cluster.query_engine()
+        end = int(cluster.sim.now) + 10
+        series = engine.run(TsdbQuery("tsd.batches_accepted", 0, end,
+                                      tag_filters={"host": "tsd"}))
+        assert len(series) == 1 and len(series[0]) >= 3
+
+    def test_extra_telemetries_are_flushed_too(self):
+        cluster = self._active_cluster()
+        run_telemetry = Telemetry()
+        run_telemetry.counter("engine.units_scored").inc(7)
+        reporter = SelfReporter(cluster, extra=(run_telemetry,))
+        reporter.flush()
+        engine = cluster.query_engine()
+        end = int(cluster.sim.now) + 10
+        series = engine.run(TsdbQuery("engine.units_scored", 0, end))
+        assert len(series) == 1
+        assert series[0].values[-1] == 7.0
+
+    def test_chaos_windows_written_as_edge_series(self):
+        cluster = self._active_cluster()
+        report = ChaosReport()
+        report.mark_down("tsd00", 1.0)
+        report.mark_up("tsd00", 3.0)
+        reporter = cluster.self_reporter(chaos_report=report)
+        assert reporter.write_chaos_windows() == 2
+        engine = cluster.query_engine()
+        end = int(cluster.sim.now) + 10
+        series = engine.run(TsdbQuery("chaos.down", 0, end,
+                                      tag_filters={"host": "tsd00"}))
+        assert len(series) == 1
+        assert series[0].values.tolist() == [1.0, 0.0]
+
+    def test_interval_must_be_positive(self):
+        cluster = build_cluster(n_nodes=1)
+        with pytest.raises(ValueError):
+            cluster.self_reporter(interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# pipeline integration (the ISSUE acceptance scenario)
+# ----------------------------------------------------------------------
+class TestPipelineObservability:
+    def test_run_with_self_report_and_trace(self, tmp_path):
+        generator = FleetGenerator(FleetConfig(n_units=3, n_sensors=6, seed=13))
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        pipeline = AnomalyPipeline(
+            generator,
+            cluster,
+            pipeline_config=PipelineConfig(
+                n_train=120, n_eval=120, publish_batch_size=100,
+                self_report=True, trace=True,
+            ),
+        )
+        result = pipeline.run()
+        assert result.points_published > 0
+
+        # ≥1 end-to-end batch trace, exportable as JSON.
+        assert result.trace is not None and len(result.trace) > 0
+        batch = result.trace.batch_ids()[0]
+        assert {"proxy", "tsd"} <= set(result.trace.components(batch))
+        exported = result.trace.export_json(tmp_path / "pipeline_trace.json")
+        assert json.loads(exported.read_text())
+
+        # Self-metric series from cluster AND run telemetry query back:
+        # proxy.* / tsd.* from the cluster telemetry, engine.* and
+        # publish.* from the run telemetry flushed alongside it.
+        engine = cluster.query_engine()
+        end = int(cluster.sim.now) + 10
+        for name in ("proxy.ack_latency.count", "tsd.batches_accepted",
+                     "engine.units_scored", "pipeline.units",
+                     "publish.data.batches"):
+            series = engine.run(TsdbQuery(name, 0, end))
+            assert series, f"no self-metric series for {name}"
+
+    def test_self_report_off_writes_nothing(self):
+        generator = FleetGenerator(FleetConfig(n_units=2, n_sensors=4, seed=13))
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        pipeline = AnomalyPipeline(generator, cluster)
+        result = pipeline.run(n_train=80, n_eval=80)
+        assert result.self_reporter is None and result.trace is None
+        engine = cluster.query_engine()
+        assert engine.run(TsdbQuery("anomaly", 0, 10_000)) is not None
+        assert not engine.run(TsdbQuery("pipeline.units", 0, 10_000))
+
+    def test_fresh_registry_per_run(self):
+        generator = FleetGenerator(FleetConfig(n_units=2, n_sensors=4, seed=13))
+        pipeline = AnomalyPipeline(generator)
+        first = pipeline.run(n_train=80, n_eval=80, publish=False)
+        second = pipeline.run(n_train=80, n_eval=80, publish=False)
+        assert first.metrics.counter("pipeline.units").get() == 2
+        assert second.metrics.counter("pipeline.units").get() == 2
+
+
+# ----------------------------------------------------------------------
+# the dashboard's platform-health panel
+# ----------------------------------------------------------------------
+class TestPlatformHealthPanel:
+    def _reported_cluster(self):
+        generator = FleetGenerator(FleetConfig(n_units=2, n_sensors=4, seed=5))
+        cluster = build_cluster(n_nodes=2, retain_data=True)
+        workload = fleet_stream(generator, n_samples=20, batch_size=40)
+        driver = IngestionDriver(cluster, workload, offered_rate=4_000, batch_size=40)
+        driver.run(1.0, drain=5.0)
+        cluster.self_reporter().flush()
+        return cluster
+
+    def test_panel_renders_self_metric_rows(self):
+        cluster = self._reported_cluster()
+        dashboard = Dashboard(cluster.query_engine())
+        panel = dashboard.platform_health_html()
+        assert "Platform health" in panel
+        assert "tsd.batches_accepted" in panel
+        assert "proxy.ack_latency.p99" in panel
+        assert "<svg" in panel  # trend sparklines
+
+    def test_panel_empty_without_self_telemetry(self):
+        cluster = build_cluster(n_nodes=1, retain_data=True)
+        dashboard = Dashboard(cluster.query_engine())
+        assert dashboard.platform_health_html() == ""
+
+    def test_overview_gates_panel_on_config(self):
+        cluster = self._reported_cluster()
+        engine = cluster.query_engine()
+        on = Dashboard(engine).fleet_overview_html([0], 0, 100)
+        assert "Platform health" in on
+        off = Dashboard(
+            engine, DashboardConfig(show_platform_health=False)
+        ).fleet_overview_html([0], 0, 100)
+        assert "Platform health" not in off
+
+    def test_row_cap_reports_truncation(self):
+        cluster = self._reported_cluster()
+        dashboard = Dashboard(
+            cluster.query_engine(), DashboardConfig(max_health_rows=3)
+        )
+        panel = dashboard.platform_health_html()
+        assert panel.count("<tr>") == 1 + 3  # header + capped rows
+        assert "showing 3 of" in panel
+
+
+# ----------------------------------------------------------------------
+# the rogue-registry lint rule
+# ----------------------------------------------------------------------
+class TestRogueRegistryRule:
+    RULE = [RogueRegistryRule()]
+
+    def test_flags_bare_construction_in_repro(self):
+        findings = lint_source(
+            "from repro.cluster.metrics import MetricsRegistry\n"
+            "metrics = MetricsRegistry()\n",
+            path="src/repro/tsdb/example.py",
+            rules=self.RULE,
+        )
+        assert [f.rule for f in findings] == ["rogue-registry"]
+
+    def test_flags_default_factory(self):
+        findings = lint_source(
+            "from dataclasses import dataclass, field\n"
+            "from repro.cluster.metrics import MetricsRegistry\n"
+            "@dataclass\n"
+            "class R:\n"
+            "    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)\n",
+            path="src/repro/core/example.py",
+            rules=self.RULE,
+        )
+        assert [f.rule for f in findings] == ["rogue-registry"]
+
+    def test_obs_and_out_of_package_files_exempt(self):
+        text = "from repro.cluster.metrics import MetricsRegistry\nm = MetricsRegistry()\n"
+        assert not lint_source(text, path="src/repro/obs/telemetry.py", rules=self.RULE)
+        assert not lint_source(text, path="tests/test_something.py", rules=self.RULE)
+
+    def test_component_registry_is_sanctioned(self):
+        findings = lint_source(
+            "from repro.obs.telemetry import component_registry\n"
+            "metrics = component_registry('tsd')\n",
+            path="src/repro/hbase/example.py",
+            rules=self.RULE,
+        )
+        assert findings == []

@@ -36,6 +36,7 @@ class TestFramework:
             "mutable-default",
             "guarded-by",
             "unbounded-retry",
+            "rogue-registry",
         }
 
     def test_parse_error_is_a_finding(self):

@@ -70,7 +70,7 @@ class TestReproLint:
             [f for f in report["findings"] if f["suppressed"]]
         )
 
-    def test_rule_catalogue_lists_all_seven(self):
+    def test_rule_catalogue_lists_all_eight(self):
         proc = _run([sys.executable, "-m", "repro.analysis", "--list-rules"])
         assert proc.returncode == 0
         listed = {line.split()[0] for line in proc.stdout.splitlines() if line.strip()}
@@ -82,6 +82,7 @@ class TestReproLint:
             "mutable-default",
             "guarded-by",
             "unbounded-retry",
+            "rogue-registry",
         } <= listed
 
     def test_exit_code_on_findings(self, tmp_path):

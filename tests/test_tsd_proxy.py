@@ -154,7 +154,7 @@ class _StubTsd:
         self.behaviours = list(behaviours)
         self.calls = []
 
-    def put_batch(self, pts, reply_to, src_host):
+    def put_batch(self, pts, reply_to, src_host, batch_id=None):
         self.calls.append(list(pts))
         step = self.behaviours[min(len(self.calls), len(self.behaviours)) - 1]
         if step == "swallow":
