@@ -28,6 +28,9 @@ Subpackages
     The Spark-like batch dataflow engine.
 ``repro.simdata``
     The synthetic evaluation fleet.
+``repro.serve``
+    The query-serving gateway (result cache, admission control,
+    fleet-workload driver) between the dashboard and the TSDB.
 ``repro.viz``
     The static dashboard generator.
 ``repro.bench``
@@ -73,6 +76,14 @@ from .tsdb import (
     TsdbQuery,
     build_cluster,
 )
+from .serve import (
+    FleetWorkload,
+    GatewayConfig,
+    QueryGateway,
+    QueryRejected,
+    WorkloadConfig,
+    WorkloadReport,
+)
 from .viz import Dashboard, DashboardConfig, FleetAnalytics
 
 __version__ = "1.0.0"
@@ -97,6 +108,8 @@ __all__ = [
     "FleetConfig",
     "FleetEvaluationEngine",
     "FleetGenerator",
+    "FleetWorkload",
+    "GatewayConfig",
     "IncrementalMoments",
     "IngestionDriver",
     "OfflineTrainer",
@@ -105,6 +118,8 @@ __all__ = [
     "PipelineResult",
     "PublishReport",
     "QueryEngine",
+    "QueryGateway",
+    "QueryRejected",
     "ReverseProxy",
     "RowMatrix",
     "ShewhartChart",
@@ -116,6 +131,8 @@ __all__ = [
     "TsdbQuery",
     "UnitEvaluation",
     "UnitModel",
+    "WorkloadConfig",
+    "WorkloadReport",
     "__version__",
     "aggregate_outcomes",
     "benjamini_hochberg",

@@ -1,6 +1,6 @@
 """The repro-lint rule catalogue.
 
-Eight rules tuned to this repository's correctness invariants:
+Nine rules tuned to this repository's correctness invariants:
 
 ===================  ===================================================
 ``unseeded-rng``     RNG created or used without an explicit seed
@@ -28,6 +28,10 @@ Eight rules tuned to this repository's correctness invariants:
                      the :class:`~repro.obs.Telemetry` routing; use
                      ``component_registry(...)`` for standalone
                      defaults)
+``unbounded-cache``  a dict/list attribute named like a cache with no
+                     eviction bound in its class (the serving tier's
+                     memory-safety contract: every cache is LRU/TTL
+                     bounded or explicitly cleared)
 ===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
@@ -49,6 +53,7 @@ __all__ = [
     "GuardedByRule",
     "MutableDefaultRule",
     "RogueRegistryRule",
+    "UnboundedCacheRule",
     "UnboundedRetryRule",
     "UnseededRngRule",
 ]
@@ -730,3 +735,140 @@ class UnboundedRetryRule(Rule):
         if isinstance(func, ast.Attribute):
             return func.attr
         return None
+
+
+# ----------------------------------------------------------------------
+@register
+class UnboundedCacheRule(Rule):
+    """A dict/list used as a cache with no eviction bound in sight.
+
+    The serving tier's memory-safety contract: any attribute that
+    *names itself a cache* (``cache``/``memo`` in the attribute name)
+    and is initialised to an empty ``dict``/``list``/``set``/
+    ``OrderedDict`` must come with eviction somewhere in its class —
+    otherwise it grows for the life of the process (the classic
+    result-cache leak this repo's :class:`~repro.serve.cache.ResultCache`
+    exists to prevent).
+
+    **Bound evidence** (either silences the rule for the class):
+
+    * structural: ``self.<attr>.pop/popitem/clear(...)`` or
+      ``del self.<attr>[...]`` on the *same* attribute anywhere in the
+      class;
+    * lexical: an identifier in the class naming a limit —
+      ``capacity``/``maxsize``/``max_*``/``limit``/``evict``/``ttl``/
+      ``lru``/``expires`` — covering designs that delegate eviction.
+
+    Plain flags like ``self._cached = False`` are not containers and
+    are never flagged.
+    """
+
+    id = "unbounded-cache"
+    summary = "dict/list used as a cache with no eviction bound"
+
+    _CACHE_NAME = re.compile(r"cache|memo", re.I)
+    _BOUND_NAME = re.compile(r"capacity|maxsize|max_|limit|evict|ttl|lru|expires", re.I)
+    _EVICT_METHODS = {"pop", "popitem", "clear", "popleft"}
+    _EMPTY_FACTORIES = {"dict", "list", "set", "OrderedDict", "defaultdict", "deque"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node, source)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, cls: ast.ClassDef, source: SourceFile) -> Iterator[Finding]:
+        containers: Dict[str, ast.stmt] = {}
+        for node in ast.walk(cls):
+            attr, value = self._container_assignment(node)
+            if (
+                attr is not None
+                and value is not None
+                and self._CACHE_NAME.search(attr)
+                and self._is_empty_container(value)
+                and attr not in containers
+            ):
+                containers[attr] = node  # type: ignore[assignment]
+        if not containers:
+            return
+        evicted, lexical_bound = self._class_evidence(cls)
+        if lexical_bound:
+            return
+        for attr, node in containers.items():
+            if attr in evicted:
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"self.{attr} looks like a cache but nothing in "
+                f"{cls.name} ever evicts from it: bound it (LRU/TTL/"
+                "capacity) or clear it on a lifecycle edge",
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _container_assignment(node: ast.AST):
+        """``(attr, value)`` for ``self.<attr> = <value>`` forms."""
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target: ast.expr = node.targets[0]
+            value: Optional[ast.expr] = node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            value = node.value
+        else:
+            return None, None
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr, value
+        return None, None
+
+    def _is_empty_container(self, value: ast.expr) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return not getattr(value, "keys", None) and not getattr(value, "elts", None)
+        if isinstance(value, ast.Call) and not value.args and not value.keywords:
+            name = _dotted_name(value.func)
+            return name is not None and name.rpartition(".")[2] in self._EMPTY_FACTORIES
+        return False
+
+    def _class_evidence(self, cls: ast.ClassDef):
+        evicted: Set[str] = set()
+        lexical = False
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # self.<attr>.pop(...) / .popitem() / .clear()
+                owner = node.func.value
+                if (
+                    node.func.attr in self._EVICT_METHODS
+                    and isinstance(owner, ast.Attribute)
+                    and isinstance(owner.value, ast.Name)
+                    and owner.value.id == "self"
+                ):
+                    evicted.add(owner.attr)
+            elif isinstance(node, ast.Delete):
+                # del self.<attr>[key]
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == "self"
+                    ):
+                        evicted.add(target.value.attr)
+            for name in self._identifiers(node):
+                if name and self._BOUND_NAME.search(name):
+                    lexical = True
+        return evicted, lexical
+
+    @staticmethod
+    def _identifiers(node: ast.AST) -> Iterator[Optional[str]]:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.arg):
+            yield node.arg
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name

@@ -61,6 +61,7 @@ DEFAULT_ROUTES: Dict[str, str] = {
     "pipeline": "engine",
     "publish": "publisher",
     "chaos": "chaos",
+    "serve": "serve",  # the query-serving gateway (cache/admission)
 }
 
 #: Histogram quantiles exported as ``<name>.<suffix>`` self-metrics.

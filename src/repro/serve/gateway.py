@@ -1,0 +1,536 @@
+"""The query-serving gateway: cache → admission → engine.
+
+:class:`QueryGateway` is the façade the control-center talks to
+instead of a raw :class:`~repro.tsdb.query.QueryEngine`.  A request
+flows::
+
+    serve(query, client_id, deadline)
+      │ per-client token bucket          -> QueryRejected("rate_limited")
+      │ result cache probe
+      ├─ fresh  ──────────────▶ serve (ETag match -> NotModified)
+      ├─ stale  ─ backend down ▶ serve stale, age-stamped
+      │          backend up    ▶ refresh (admission-gated); saturated
+      │                          -> serve stale now, revalidate behind
+      └─ miss   ─▶ admission slots ─ full queue -> QueryRejected("queue_full")
+                      │ FIFO wait (deadline-bounded)
+                      └▶ QueryEngine.run ─▶ fill cache ─▶ respond
+
+Responses are **bit-identical** to a direct ``QueryEngine.run`` in
+every cache state: the cache key only merges queries the engine must
+answer identically (see :mod:`repro.serve.cache`), and write-through
+invalidation is driven from the cluster's write paths.  Invalidation
+fires twice per batch — optimistically at submit time and again when
+the batch's ack lands — because a result computed *between* the two
+would otherwise be cached without the in-flight points.  A write-epoch
+guard closes the remaining async window: results computed before a
+write landed are served but never cached.
+
+Execution latency is simulated: the engine's offline read is free, so
+the gateway charges a :class:`ServeServiceModel` cost (per scan range
++ per returned point) on the simulator clock.  This is what makes the
+E14 queueing/stampede dynamics real and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
+
+from ..cluster.simulation import Simulator
+from ..obs.telemetry import component_registry
+from ..tsdb.aggregation import Series
+from ..tsdb.query import QueryEngine, TsdbQuery
+from ..tsdb.uid import UnknownUidError
+from .admission import AdmissionController, ClientRateLimiter, QueryRejected, Ticket
+from .cache import CanonicalQuery, ResultCache, canonical_key, result_etag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.metrics import MetricsRegistry
+    from ..tsdb.ingest import TsdbCluster
+    from ..tsdb.tsd import DataPoint
+
+__all__ = ["GatewayConfig", "QueryGateway", "ServeResult", "ServeServiceModel"]
+
+#: Histogram bounds for ``serve.latency`` — cache hits land around
+#: 0.2 ms, queued executions out to multi-second deadlines.
+_LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass(frozen=True)
+class ServeServiceModel:
+    """Simulated cost of answering one query from storage.
+
+    ``overhead`` covers parse/plan/RPC setup, ``per_range`` each
+    salt-bucket scan issued, ``per_point`` each datapoint in the
+    result, and ``hit_cost`` a cache hit (serialization only).
+    """
+
+    overhead: float = 0.002
+    per_range: float = 5e-5
+    per_point: float = 2e-6
+    hit_cost: float = 2e-4
+
+    def __post_init__(self) -> None:
+        if min(self.overhead, self.per_range, self.per_point, self.hit_cost) < 0:
+            raise ValueError("service-model costs must be non-negative")
+
+    def cost(self, n_ranges: int, n_points: int) -> float:
+        return self.overhead + self.per_range * n_ranges + self.per_point * n_points
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs for one :class:`QueryGateway`."""
+
+    cache_capacity: int = 512
+    ttl: float = 2.0
+    cache_enabled: bool = True
+    serve_stale: bool = True
+    max_concurrent: int = 4
+    max_queue: int = 32
+    default_deadline: Optional[float] = 5.0
+    rate_limit: Optional[float] = None  # tokens/second per client; None = off
+    rate_burst: float = 10.0
+    service_model: ServeServiceModel = field(default_factory=ServeServiceModel)
+
+    def __post_init__(self) -> None:
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive (or None)")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None)")
+
+
+@dataclass
+class ServeResult:
+    """One gateway response.
+
+    ``status`` is ``"hit"`` (fresh cache), ``"miss"`` (executed) or
+    ``"stale"`` (expired entry served under stale-while-revalidate —
+    ``age`` then carries its staleness in seconds; fresh responses
+    have ``age == 0.0``).  When the caller's ``if_none_match`` etag
+    still matches, ``not_modified`` is True and ``series`` is None —
+    the cheap unchanged-poll path.  ``latency`` is simulated seconds
+    from issue to completion.
+    """
+
+    status: str
+    series: Optional[List[Series]]
+    etag: str
+    age: float
+    latency: float
+    not_modified: bool = False
+
+    @property
+    def served_from_cache(self) -> bool:
+        return self.status in ("hit", "stale")
+
+
+class QueryGateway:
+    """Serving tier composing result cache, admission control and engine."""
+
+    def __init__(
+        self,
+        cluster: Optional["TsdbCluster"] = None,
+        *,
+        engine: Optional[QueryEngine] = None,
+        sim: Optional[Simulator] = None,
+        config: Optional[GatewayConfig] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        if cluster is not None:
+            engine = engine if engine is not None else cluster.query_engine()
+            sim = sim if sim is not None else cluster.sim
+            metrics = metrics if metrics is not None else cluster.telemetry.registry("serve")
+        if engine is None or sim is None:
+            raise ValueError("need a cluster, or an explicit engine and sim")
+        self.cluster = cluster
+        self.engine = engine
+        self.sim = sim
+        self.config = config if config is not None else GatewayConfig()
+        self.metrics = metrics if metrics is not None else component_registry("serve")
+        self.cache = ResultCache(self.config.cache_capacity, self.config.ttl)
+        self.admission = AdmissionController(self.config.max_concurrent, self.config.max_queue)
+        self._limiter: Optional[ClientRateLimiter] = None
+        if self.config.rate_limit is not None:
+            self._limiter = ClientRateLimiter(self.config.rate_limit, self.config.rate_burst)
+        # Bumped on every write notification; executions that straddle a
+        # bump are served but never cached (coherence under async races).
+        self._write_epoch = 0
+        self._latency = self.metrics.histogram("serve.latency", _LATENCY_BOUNDS)
+        self._staleness = self.metrics.histogram("serve.staleness")
+        if cluster is not None:
+            cluster.add_write_listener(self.notify_writes)
+
+    # ------------------------------------------------------------------
+    # engine-compatible surface (Dashboard/FleetAnalytics drop-in)
+    # ------------------------------------------------------------------
+    @property
+    def uids(self):  # noqa: ANN201 - UniqueIdRegistry, typed at the engine
+        return self.engine.uids
+
+    def run(self, query: TsdbQuery) -> List[Series]:
+        """Engine-compatible execute: serve and unwrap the series."""
+        result = self.serve(query, client_id="dashboard")
+        assert result.series is not None  # no etag passed -> never NotModified
+        return result.series
+
+    # ------------------------------------------------------------------
+    # synchronous serving (dashboard renders, tests)
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        query: TsdbQuery,
+        client_id: str = "interactive",
+        deadline: Optional[float] = None,
+        if_none_match: Optional[str] = None,
+    ) -> ServeResult:
+        """Serve one query now (no simulated time passes).
+
+        The synchronous path never waits in the FIFO queue: if every
+        execution slot is held by in-flight async work it serves stale
+        (revalidating behind) or sheds.  Raises :class:`QueryRejected`
+        on rate limit, saturation with nothing cached, or a down
+        backend with nothing cached.
+        """
+        now = self.sim.now
+        self._rate_check(client_id, now)
+        if not self.config.cache_enabled:
+            return self._execute_sync(query, client_id, now, if_none_match)
+        key = canonical_key(query)
+        lookup = self.cache.get(key, now)
+        if lookup.state == "fresh":
+            return self._respond_cached("hit", lookup, if_none_match, 0.0)
+        if lookup.state == "stale":
+            if not self.backend_available():
+                return self._respond_cached("stale", lookup, if_none_match, 0.0)
+            if self.admission.in_flight < self.admission.max_concurrent:
+                return self._execute_sync(query, client_id, now, if_none_match, key)
+            if self.config.serve_stale:
+                self._queue_revalidation(query, key, client_id, now)
+                return self._respond_cached("stale", lookup, if_none_match, 0.0)
+            self._count_shed("queue_full")
+            raise QueryRejected("queue_full", self.admission.retry_after(), f"client {client_id}")
+        # Cold miss.
+        if not self.backend_available():
+            self._count_shed("unavailable")
+            raise QueryRejected("unavailable", 1.0, "storage tier down and nothing cached")
+        if self.admission.in_flight < self.admission.max_concurrent:
+            return self._execute_sync(query, client_id, now, if_none_match, key)
+        self._count_shed("queue_full")
+        raise QueryRejected("queue_full", self.admission.retry_after(), f"client {client_id}")
+
+    # ------------------------------------------------------------------
+    # asynchronous serving (the workload driver's path)
+    # ------------------------------------------------------------------
+    def serve_async(
+        self,
+        query: TsdbQuery,
+        client_id: str,
+        on_done: Callable[[ServeResult], None],
+        on_reject: Optional[Callable[[QueryRejected], None]] = None,
+        deadline: Optional[float] = None,
+        if_none_match: Optional[str] = None,
+    ) -> None:
+        """Serve through the simulator: completions and rejections are
+        delivered as scheduled events, with queueing and execution cost
+        charged on the sim clock.
+
+        ``deadline`` (relative seconds, default from config) bounds the
+        FIFO wait; requests still queued past it are shed.
+        """
+        now = self.sim.now
+        try:
+            self._rate_check(client_id, now)
+        except QueryRejected as exc:
+            self._deliver_reject(exc, on_reject)
+            return
+        key: Optional[CanonicalQuery] = None
+        if self.config.cache_enabled:
+            key = canonical_key(query)
+            lookup = self.cache.get(key, now)
+            if lookup.state == "fresh":
+                self._complete_cached("hit", lookup, if_none_match, on_done)
+                return
+            if lookup.state == "stale":
+                backend_up = self.backend_available()
+                if backend_up and not self.config.serve_stale:
+                    pass  # fall through to a full execution below
+                else:
+                    if backend_up:
+                        self._queue_revalidation(query, key, client_id, now)
+                    self._complete_cached("stale", lookup, if_none_match, on_done)
+                    return
+        if not self.backend_available():
+            self._count_shed("unavailable")
+            self._deliver_reject(
+                QueryRejected("unavailable", 1.0, "storage tier down and nothing cached"),
+                on_reject,
+            )
+            return
+        rel_deadline = deadline if deadline is not None else self.config.default_deadline
+        abs_deadline = now + rel_deadline if rel_deadline is not None else None
+
+        def granted(ticket: Ticket) -> None:
+            self._start_execution(ticket, query, key, now, if_none_match, on_done)
+
+        def timed_out(ticket: Ticket) -> None:
+            self._count_shed("deadline")
+            self._deliver_reject(
+                QueryRejected("deadline", self.admission.retry_after(), f"client {client_id}"),
+                on_reject,
+            )
+
+        try:
+            ticket = self.admission.admit(client_id, now, abs_deadline, granted, timed_out)
+        except QueryRejected as exc:
+            self._count_shed("queue_full")
+            self._deliver_reject(exc, on_reject)
+            return
+        self._sync_admission_gauges()
+        if ticket.state == "granted":
+            self._start_execution(ticket, query, key, now, if_none_match, on_done)
+        elif abs_deadline is not None:
+            # Strict comparison in expire_due: fire just past the deadline.
+            self.sim.schedule(abs_deadline - now + 1e-9, self._expire_tick)
+
+    # ------------------------------------------------------------------
+    # write-through invalidation
+    # ------------------------------------------------------------------
+    def notify_writes(self, points: Iterable["DataPoint"]) -> None:
+        """Evict cache entries overlapping freshly written points.
+
+        Wired to the cluster's write listeners; touches are coalesced
+        per ``(metric, tags)`` series into one time-range probe.
+        """
+        self._write_epoch += 1
+        touched: dict = {}
+        for p in points:
+            span = touched.get((p.metric, p.tags))
+            if span is None:
+                touched[(p.metric, p.tags)] = [p.timestamp, p.timestamp]
+            else:
+                if p.timestamp < span[0]:
+                    span[0] = p.timestamp
+                if p.timestamp > span[1]:
+                    span[1] = p.timestamp
+        evicted = 0
+        for (metric, tags), (t_min, t_max) in touched.items():
+            evicted += self.cache.invalidate(metric, dict(tags), t_min, t_max)
+        if evicted:
+            self.metrics.counter("serve.invalidations").inc(evicted)
+
+    def backend_available(self) -> bool:
+        """Is the storage tier reachable? (needs ≥ 1 live TSD frontend).
+
+        The offline engine reads region state directly, so this is the
+        gateway's availability model: with every TSD down there is no
+        daemon to answer a query and only stale serving remains.
+        """
+        if self.cluster is None:
+            return True
+        return any(not tsd.crashed for tsd in self.cluster.tsds)
+
+    # ------------------------------------------------------------------
+    # internals: execution
+    # ------------------------------------------------------------------
+    def _execute_sync(
+        self,
+        query: TsdbQuery,
+        client_id: str,
+        now: float,
+        if_none_match: Optional[str],
+        key: Optional[CanonicalQuery] = None,
+    ) -> ServeResult:
+        if self.admission.in_flight >= self.admission.max_concurrent:
+            self._count_shed("queue_full")
+            raise QueryRejected("queue_full", self.admission.retry_after(), f"client {client_id}")
+        ticket = self.admission.admit(client_id, now)  # slot free: grants inline
+        self._sync_admission_gauges()
+        try:
+            series = self.engine.run(query)
+        finally:
+            self.admission.release(now, started_at=ticket.granted_at)
+            self._sync_admission_gauges()
+        if key is not None:
+            etag = self.cache.put(key, series, now)
+        else:
+            etag = result_etag(series)
+        self.metrics.counter("serve.misses").inc()
+        self._latency.observe(0.0)
+        nm = if_none_match is not None and if_none_match == etag
+        return ServeResult("miss", None if nm else series, etag, 0.0, 0.0, not_modified=nm)
+
+    def _start_execution(
+        self,
+        ticket: Ticket,
+        query: TsdbQuery,
+        key: Optional[CanonicalQuery],
+        issued_at: float,
+        if_none_match: Optional[str],
+        on_done: Callable[[ServeResult], None],
+    ) -> None:
+        self._sync_admission_gauges()
+        # The result is a snapshot at grant time; the epoch guard keeps
+        # it out of the cache if a write lands before completion.
+        series = self.engine.run(query)
+        epoch = self._write_epoch
+        cost = self._execution_cost(query, series)
+        self.sim.schedule(
+            cost, self._finish_execution, ticket, series, epoch, key, issued_at,
+            if_none_match, on_done,
+        )
+
+    def _finish_execution(
+        self,
+        ticket: Ticket,
+        series: List[Series],
+        epoch: int,
+        key: Optional[CanonicalQuery],
+        issued_at: float,
+        if_none_match: Optional[str],
+        on_done: Callable[[ServeResult], None],
+    ) -> None:
+        now = self.sim.now
+        self.admission.release(now, started_at=ticket.granted_at)
+        self._sync_admission_gauges()
+        if key is not None and epoch == self._write_epoch:
+            etag = self.cache.put(key, series, now)
+        else:
+            etag = result_etag(series)
+        latency = now - issued_at
+        self.metrics.counter("serve.misses").inc()
+        self._latency.observe(latency)
+        nm = if_none_match is not None and if_none_match == etag
+        if nm:
+            self.metrics.counter("serve.not_modified").inc()
+        on_done(ServeResult("miss", None if nm else series, etag, 0.0, latency, not_modified=nm))
+
+    def _execution_cost(self, query: TsdbQuery, series: List[Series]) -> float:
+        try:
+            uid = self.engine.uids.get("metric", query.metric)
+            n_ranges = len(self.engine.codec.scan_ranges(uid, query.start, query.end))
+        except UnknownUidError:
+            n_ranges = 0
+        n_points = sum(len(s.timestamps) for s in series)
+        return self.config.service_model.cost(n_ranges, n_points)
+
+    # ------------------------------------------------------------------
+    # internals: stale-while-revalidate
+    # ------------------------------------------------------------------
+    def _queue_revalidation(
+        self, query: TsdbQuery, key: CanonicalQuery, client_id: str, now: float
+    ) -> None:
+        """Kick one background refresh for a stale key (best effort)."""
+        if not self.cache.begin_refresh(key):
+            return  # a refresh is already in flight
+
+        def granted(ticket: Ticket) -> None:
+            series = self.engine.run(query)
+            epoch = self._write_epoch
+            cost = self._execution_cost(query, series)
+            self.sim.schedule(cost, self._finish_refresh, ticket, key, series, epoch)
+
+        def timed_out(ticket: Ticket) -> None:
+            self.cache.abort_refresh(key)
+
+        try:
+            ticket = self.admission.admit(client_id, now, None, granted, timed_out)
+        except QueryRejected:
+            self.cache.abort_refresh(key)  # saturated: retry on a later probe
+            return
+        self._sync_admission_gauges()
+        self.metrics.counter("serve.revalidations").inc()
+        if ticket.state == "granted":
+            granted(ticket)
+
+    def _finish_refresh(
+        self, ticket: Ticket, key: CanonicalQuery, series: List[Series], epoch: int
+    ) -> None:
+        now = self.sim.now
+        self.admission.release(now, started_at=ticket.granted_at)
+        self._sync_admission_gauges()
+        if epoch == self._write_epoch:
+            self.cache.put(key, series, now)
+        else:
+            self.cache.abort_refresh(key)
+
+    # ------------------------------------------------------------------
+    # internals: responses and accounting
+    # ------------------------------------------------------------------
+    def _respond_cached(
+        self,
+        status: str,
+        lookup,  # CacheLookup
+        if_none_match: Optional[str],
+        latency: float,
+    ) -> ServeResult:
+        assert lookup.value is not None and lookup.etag is not None
+        age = lookup.age if status == "stale" else 0.0
+        if status == "hit":
+            self.metrics.counter("serve.hits").inc()
+        else:
+            self.metrics.counter("serve.stale_serves").inc()
+            self._staleness.observe(age)
+        self._latency.observe(latency)
+        nm = if_none_match is not None and if_none_match == lookup.etag
+        if nm:
+            self.metrics.counter("serve.not_modified").inc()
+        return ServeResult(
+            status, None if nm else lookup.value, lookup.etag, age, latency, not_modified=nm
+        )
+
+    def _complete_cached(
+        self,
+        status: str,
+        lookup,  # CacheLookup
+        if_none_match: Optional[str],
+        on_done: Callable[[ServeResult], None],
+    ) -> None:
+        cost = self.config.service_model.hit_cost
+        result = self._respond_cached(status, lookup, if_none_match, cost)
+        self.sim.schedule(cost, on_done, result)
+
+    def _rate_check(self, client_id: str, now: float) -> None:
+        if self._limiter is None:
+            return
+        try:
+            self._limiter.check(client_id, now)
+        except QueryRejected:
+            self._count_shed("rate_limited")
+            raise
+
+    def _deliver_reject(
+        self, exc: QueryRejected, on_reject: Optional[Callable[[QueryRejected], None]]
+    ) -> None:
+        if on_reject is None:
+            raise exc
+        self.sim.schedule(0.0, on_reject, exc)
+
+    def _count_shed(self, reason: str) -> None:
+        self.metrics.counter("serve.sheds").inc(label=reason)
+
+    def _expire_tick(self) -> None:
+        self.admission.expire_due(self.sim.now)
+        self._sync_admission_gauges()
+
+    def _sync_admission_gauges(self) -> None:
+        self.metrics.gauge("serve.queue_depth").set(float(self.admission.queue_depth))
+        self.metrics.gauge("serve.in_flight").set(float(self.admission.in_flight))
+        self.metrics.gauge("serve.cache_size").set(float(len(self.cache)))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cache + admission counters, for reports and examples."""
+        out = dict(self.cache.stats())
+        out.update(
+            granted=self.admission.granted,
+            queued=self.admission.queued,
+            shed_queue_full=self.admission.shed_queue_full,
+            shed_deadline=self.admission.shed_deadline,
+            queue_high_water=self.admission.queue_high_water,
+            in_flight_high_water=self.admission.in_flight_high_water,
+        )
+        return out

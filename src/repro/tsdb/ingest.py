@@ -32,6 +32,7 @@ from .uid import UniqueIdRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs.selfreport import SelfReporter
+    from ..serve.gateway import GatewayConfig, QueryGateway
     from .compaction import RowCompactor
 
 __all__ = ["ClusterConfig", "TsdbCluster", "build_cluster", "IngestionDriver", "IngestionReport"]
@@ -183,6 +184,10 @@ class TsdbCluster:
             )
             self.tsds.append(tsd)
 
+        #: Write listeners (the serving gateway's cache invalidation
+        #: hook): called with every submitted/bulk-loaded point batch.
+        self._write_listeners: List[Callable[[List[DataPoint]], None]] = []
+
         if config.use_proxy:
             self.ingress: ReverseProxy | DirectSubmitter = ReverseProxy(
                 self.sim,
@@ -201,7 +206,32 @@ class TsdbCluster:
     # convenience accessors
     # ------------------------------------------------------------------
     def submit(self, points: List[DataPoint], on_ack: Optional[Callable[[PutAck], None]] = None) -> None:
+        if self._write_listeners and points:
+            # Notify twice: optimistically at submit (evict before the
+            # batch is even durable — conservative and cheap) and again
+            # when its ack lands, because a query executed *between* the
+            # two would otherwise cache a result missing these points.
+            self._notify_writes(points)
+            inner = on_ack
+
+            def acked(ack: PutAck) -> None:
+                self._notify_writes(points)
+                if inner is not None:
+                    inner(ack)
+
+            on_ack = acked
         self.ingress.submit(points, on_ack)
+
+    def add_write_listener(self, listener: Callable[[List[DataPoint]], None]) -> None:
+        """Subscribe to write notifications (cache invalidation feed)."""
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: Callable[[List[DataPoint]], None]) -> None:
+        self._write_listeners.remove(listener)
+
+    def _notify_writes(self, points: List[DataPoint]) -> None:
+        for listener in self._write_listeners:
+            listener(points)
 
     def query_engine(self) -> QueryEngine:
         return QueryEngine(self.master, self.uids, self.codec)
@@ -218,6 +248,16 @@ class TsdbCluster:
         from .compaction import RowCompactor
 
         return RowCompactor(self.master, DATA_TABLE, write_ts=self.next_write_ts)
+
+    def gateway(self, config: Optional["GatewayConfig"] = None) -> "QueryGateway":
+        """A serving gateway over this deployment's read path.
+
+        Wires the ``serve.*`` telemetry tree and subscribes the
+        gateway's cache invalidation to this cluster's write paths.
+        """
+        from ..serve.gateway import QueryGateway
+
+        return QueryGateway(self, config=config)
 
     def async_query_executor(self, host: str = "query-client"):
         """A timing-aware query executor over the simulated RPC path."""
@@ -237,6 +277,7 @@ class TsdbCluster:
         """
         tsd = self.tsds[0]
         written = 0
+        notify: List[DataPoint] = []
         for point in points:
             cell = tsd.encode_point(point)
             _, server_name = self.master.locate(DATA_TABLE, cell.row)
@@ -247,7 +288,11 @@ class TsdbCluster:
                 if region.info.contains(cell.row):
                     region.put(cell)
                     written += 1
+                    notify.append(point)
                     break
+        if self._write_listeners and notify:
+            # Bulk loads land synchronously, so one notification suffices.
+            self._notify_writes(notify)
         return written
 
     def per_server_writes(self) -> Dict[str, int]:

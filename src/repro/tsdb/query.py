@@ -23,7 +23,7 @@ import numpy as np
 from ..hbase.bytescodec import decode_f64
 from ..hbase.master import HMaster
 from ..hbase.region import Cell
-from .aggregation import Series, aggregate, downsample, rate
+from .aggregation import AGGREGATORS, Series, aggregate, downsample, rate
 from .compaction import decompact_cell, is_compacted
 from .rowkey import RowKeyCodec
 from .tsd import DATA_TABLE
@@ -109,6 +109,18 @@ class TsdbQuery:
     def __post_init__(self) -> None:
         if self.end <= self.start:
             raise ValueError("query end must be after start")
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregator {self.aggregator!r}; "
+                f"choose from {sorted(AGGREGATORS)}"
+            )
+        if self.downsample_window is not None and self.downsample_window < 1:
+            raise ValueError("downsample window must be >= 1 second")
+        if self.downsample_aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"unknown downsample aggregator {self.downsample_aggregator!r}; "
+                f"choose from {sorted(AGGREGATORS)}"
+            )
 
 
 class QueryEngine:

@@ -94,23 +94,49 @@ class FleetAnalytics:
         return series[0].timestamps
 
     # ------------------------------------------------------------------
-    def unit_status(self, unit_id: int, start: int, end: int) -> UnitStatus:
-        anomalies = self.anomaly_series(unit_id, start, end)
+    @staticmethod
+    def unit_status_from(
+        unit_id: int, anomalies: Sequence[Series], alarms: np.ndarray
+    ) -> UnitStatus:
+        """Roll a unit's status up from already-fetched query results.
+
+        The dashboard fetches each unit's anomaly series once and feeds
+        the same result to the status roll-up, the trend sparkline and
+        the top-sensor ranking — one engine call per unit instead of
+        one per consumer.
+        """
         count = int(sum(len(s) for s in anomalies))
         sensors = len([s for s in anomalies if len(s)])
-        alarms = int(len(self.unit_alarm_times(unit_id, start, end)))
         return UnitStatus(
             unit_id=unit_id,
-            grade=grade_unit(count, sensors, alarms),
+            grade=grade_unit(count, sensors, int(len(alarms))),
             anomaly_count=count,
             sensors_affected=sensors,
-            unit_alarms=alarms,
+            unit_alarms=int(len(alarms)),
         )
+
+    def unit_status(self, unit_id: int, start: int, end: int) -> UnitStatus:
+        status, _ = self.unit_overview(unit_id, start, end)
+        return status
+
+    def unit_overview(
+        self, unit_id: int, start: int, end: int
+    ) -> Tuple[UnitStatus, List[Series]]:
+        """Status roll-up plus the per-sensor anomaly series behind it."""
+        anomalies = self.anomaly_series(unit_id, start, end)
+        alarms = self.unit_alarm_times(unit_id, start, end)
+        return self.unit_status_from(unit_id, anomalies, alarms), anomalies
 
     def fleet_statuses(
         self, unit_ids: Sequence[int], start: int, end: int
     ) -> List[UnitStatus]:
-        return [self.unit_status(u, start, end) for u in unit_ids]
+        return [status for status, _ in self.fleet_overview(unit_ids, start, end)]
+
+    def fleet_overview(
+        self, unit_ids: Sequence[int], start: int, end: int
+    ) -> List[Tuple[UnitStatus, List[Series]]]:
+        """Per-unit ``(status, anomaly_series)`` with one anomaly query each."""
+        return [self.unit_overview(u, start, end) for u in unit_ids]
 
     def summary(self, statuses: Sequence[UnitStatus]) -> FleetSummary:
         with_anoms = [s for s in statuses if s.anomaly_count > 0]
@@ -128,8 +154,15 @@ class FleetAnalytics:
         self, unit_id: int, start: int, end: int, k: int = 8
     ) -> List[SensorActivity]:
         """The unit's most anomalous sensors, by flag count then severity."""
+        return self.top_sensors_from(self.anomaly_series(unit_id, start, end), k)
+
+    @staticmethod
+    def top_sensors_from(
+        anomalies: Sequence[Series], k: int = 8
+    ) -> List[SensorActivity]:
+        """Rank sensors from an already-fetched anomaly result set."""
         activities: List[SensorActivity] = []
-        for series in self.anomaly_series(unit_id, start, end):
+        for series in anomalies:
             if not len(series):
                 continue
             sensor = series.tag_dict.get("sensor", "?")

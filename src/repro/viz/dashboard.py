@@ -44,6 +44,7 @@ _SELF_METRIC_PREFIXES = (
     "pipeline.",
     "publish.",
     "chaos.",
+    "serve.",
 )
 
 #: Self-telemetry timestamps run on the simulator clock, not the data
@@ -97,7 +98,14 @@ class DashboardConfig:
 
 
 class Dashboard:
-    """Builds the static dashboard from a TSDB query engine."""
+    """Builds the static dashboard from a TSDB query engine.
+
+    ``engine`` may equally be a
+    :class:`~repro.serve.gateway.QueryGateway` — it exposes the same
+    ``run``/``uids`` surface — so the control centre renders through
+    the serving tier (cached, admission-controlled) instead of raw
+    storage scans.
+    """
 
     def __init__(self, engine: QueryEngine, config: Optional[DashboardConfig] = None) -> None:
         self.engine = engine
@@ -120,8 +128,14 @@ class Dashboard:
     def fleet_overview_html(
         self, unit_ids: Sequence[int], start: int, end: int
     ) -> str:
-        """The index page: KPIs, status bar, unit table."""
-        statuses = self.analytics.fleet_statuses(unit_ids, start, end)
+        """The index page: KPIs, status bar, unit table.
+
+        Each unit's anomaly series is fetched **once** and shared by the
+        status roll-up and the trend sparkline (previously two identical
+        engine calls per unit).
+        """
+        overview = self.analytics.fleet_overview(unit_ids, start, end)
+        statuses = [status for status, _ in overview]
         summary = self.analytics.summary(statuses)
         counts = grade_counts(statuses)
         kpis = (
@@ -137,8 +151,9 @@ class Dashboard:
             "</div>"
         )
         rows = []
-        for status in statuses:
+        for status, anomalies in overview:
             grade = status.grade
+            trend = self._anomaly_trend_sparkline(status.unit_id, anomalies)
             rows.append(
                 "<tr>"
                 f"<td><a href='machine-{status.unit_id:03d}.html'>{status.label}</a></td>"
@@ -147,6 +162,7 @@ class Dashboard:
                 f"<td>{status.anomaly_count}</td>"
                 f"<td>{status.sensors_affected}</td>"
                 f"<td>{status.unit_alarms}</td>"
+                f"<td>{trend}</td>"
                 "</tr>"
             )
         body = (
@@ -158,13 +174,31 @@ class Dashboard:
             f"critical: {counts[HealthGrade.CRITICAL]}</div></div>"
             "<div class='panel'><h2>Units</h2><table>"
             "<tr><th>unit</th><th>status</th><th>anomalies</th>"
-            "<th>sensors affected</th><th>unit alarms</th></tr>"
+            "<th>sensors affected</th><th>unit alarms</th><th>trend</th></tr>"
             f"{''.join(rows)}</table></div>"
         )
         if self.config.show_platform_health:
             body += self.platform_health_html()
         return self._page(
             self.config.title, f"fleet overview · t ∈ [{start}, {end})", body
+        )
+
+    def _anomaly_trend_sparkline(self, unit_id: int, anomalies) -> str:
+        """Sensors-flagged-over-time sparkline from the shared anomaly result."""
+        counts: Dict[int, int] = {}
+        for series in anomalies:
+            for t in series.timestamps:
+                counts[int(t)] = counts.get(int(t), 0) + 1
+        if not counts:
+            return ""
+        times = np.array(sorted(counts), dtype=np.int64)
+        values = np.array([float(counts[int(t)]) for t in times])
+        return render_sparkline(
+            times,
+            values,
+            np.empty(0, dtype=np.int64),
+            self.config.sparkline_style,
+            tooltip=f"unit {unit_id}: sensors flagged over time",
         )
 
     def platform_health_html(self, start: int = 0, end: Optional[int] = None) -> str:
@@ -227,9 +261,10 @@ class Dashboard:
     def machine_page_html(self, unit_id: int, start: int, end: int) -> str:
         """Figure 3: status strip, sparkline grid, drill-down details."""
         cfg = self.config
-        status = self.analytics.unit_status(unit_id, start, end)
+        # One anomaly query serves the status strip, the sparkline
+        # flags, the top-sensor ranking and every drill-down block.
+        status, anomalies = self.analytics.unit_overview(unit_id, start, end)
         data = self.analytics.sensor_series(unit_id, start, end)
-        anomalies = self.analytics.anomaly_series(unit_id, start, end)
         anomaly_times: Dict[str, np.ndarray] = {
             s.tag_dict.get("sensor", "?"): s.timestamps for s in anomalies
         }
@@ -257,8 +292,10 @@ class Dashboard:
                 f"{' · ' + str(len(a_times)) + ' ⚑' if len(a_times) else ''}</div>"
                 f"{spark}</div>"
             )
-        top = self.analytics.top_sensors(unit_id, start, end, cfg.max_details)
-        details = [self._detail_block(unit_id, activity, start, end, data) for activity in top]
+        top = self.analytics.top_sensors_from(anomalies, cfg.max_details)
+        details = [
+            self._detail_block(activity, data, anomaly_times) for activity in top
+        ]
         grade = status.grade
         body = (
             "<div class='panel'><h2>Unit status</h2>"
@@ -283,22 +320,16 @@ class Dashboard:
 
     def _detail_block(
         self,
-        unit_id: int,
         activity: SensorActivity,
-        start: int,
-        end: int,
         data_series,
+        anomaly_times: Dict[str, np.ndarray],
     ) -> str:
         series = next(
             (s for s in data_series if s.tag_dict.get("sensor") == activity.sensor), None
         )
         if series is None or not len(series):
             return ""
-        anoms = self.analytics.anomaly_series(unit_id, start, end)
-        a_times = next(
-            (s.timestamps for s in anoms if s.tag_dict.get("sensor") == activity.sensor),
-            np.empty(0, dtype=np.int64),
-        )
+        a_times = anomaly_times.get(activity.sensor, np.empty(0, dtype=np.int64))
         # Control band from the displayed window's own robust statistics
         # (the dashboard has no access to the training data).
         values = series.values

@@ -79,7 +79,11 @@ class TestBuiltinRegistry:
         from repro.bench import REGISTRY
 
         # e11 is bench-only (pytest-benchmark comparison, no registry entry)
-        assert set(REGISTRY.available()) == {f"e{i}" for i in range(1, 11)} | {"e12", "e13"}
+        assert set(REGISTRY.available()) == {f"e{i}" for i in range(1, 11)} | {
+            "e12",
+            "e13",
+            "e14",
+        }
 
 
 class TestFastExperiments:

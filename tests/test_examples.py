@@ -69,6 +69,14 @@ class TestExamples:
         assert "exported to" in out
         assert "platform-health panel" in out
 
+    def test_serving_demo(self, capsys):
+        run_example("serving_demo.py")
+        out = capsys.readouterr().out
+        assert "conservation: issued=" in out
+        assert "not_modified=True" in out
+        assert "status=stale" in out and "still answering" in out
+        assert "after restart: status=miss" in out
+
     # fleet_dashboard.py and ingestion_scaling.py run multi-minute
     # simulations; they are exercised by benchmarks/bench_dashboard.py
     # and the E1/E6/E7 benches respectively rather than here.

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.sparklet",
     "repro.simdata",
+    "repro.serve",
     "repro.viz",
     "repro.bench",
 ]
@@ -78,6 +79,8 @@ class TestExports:
             "FleetConfig",
             "FleetEvaluationEngine",
             "FleetGenerator",
+            "FleetWorkload",
+            "GatewayConfig",
             "IncrementalMoments",
             "IngestionDriver",
             "OfflineTrainer",
@@ -86,6 +89,8 @@ class TestExports:
             "PipelineResult",
             "PublishReport",
             "QueryEngine",
+            "QueryGateway",
+            "QueryRejected",
             "ReverseProxy",
             "RowMatrix",
             "ShewhartChart",
@@ -97,6 +102,8 @@ class TestExports:
             "TsdbQuery",
             "UnitEvaluation",
             "UnitModel",
+            "WorkloadConfig",
+            "WorkloadReport",
             "__version__",
             "aggregate_outcomes",
             "benjamini_hochberg",

@@ -37,6 +37,7 @@ class TestFramework:
             "guarded-by",
             "unbounded-retry",
             "rogue-registry",
+            "unbounded-cache",
         }
 
     def test_parse_error_is_a_finding(self):
@@ -389,5 +390,87 @@ class TestUnboundedRetry:
         class Proxy:
             def _retry(self, batch):
                 self.sim.schedule(0.1, self._enqueue, batch)  # repro-lint: ignore[unbounded-retry] -- bounded upstream
+        """
+        assert not findings(src)
+
+
+class TestUnboundedCache:
+    def test_growing_cache_without_eviction_fires(self):
+        src = """
+        class Engine:
+            def __init__(self):
+                self._results_cache = {}
+
+            def lookup(self, key):
+                if key not in self._results_cache:
+                    self._results_cache[key] = self._compute(key)
+                return self._results_cache[key]
+        """
+        assert rule_ids(src) == {"unbounded-cache"}
+
+    def test_memo_dict_fires(self):
+        src = """
+        class Planner:
+            def __init__(self):
+                self._memo = dict()
+        """
+        assert rule_ids(src) == {"unbounded-cache"}
+
+    def test_eviction_via_popitem_clean(self):
+        src = """
+        from collections import OrderedDict
+
+        class Engine:
+            def __init__(self):
+                self._cache = OrderedDict()
+
+            def put(self, key, value):
+                self._cache[key] = value
+                while len(self._cache) > 64:
+                    self._cache.popitem(last=False)
+        """
+        assert not findings(src)
+
+    def test_eviction_via_del_clean(self):
+        src = """
+        class Engine:
+            def __init__(self):
+                self._cache = {}
+
+            def drop(self, key):
+                del self._cache[key]
+        """
+        assert not findings(src)
+
+    def test_capacity_bound_word_clean(self):
+        src = """
+        class Engine:
+            def __init__(self, capacity):
+                self.capacity = capacity
+                self._cache = {}
+        """
+        assert not findings(src)
+
+    def test_non_container_cache_attr_clean(self):
+        src = """
+        class Engine:
+            def __init__(self):
+                self._cached = False
+        """
+        assert not findings(src)
+
+    def test_non_cache_named_container_clean(self):
+        src = """
+        class Engine:
+            def __init__(self):
+                self._results = {}
+        """
+        assert not findings(src)
+
+    def test_suppression_applies(self):
+        src = """
+        class Engine:
+            def __init__(self):
+                self._cache = {}  # repro-lint: ignore[unbounded-cache] -- bounded by caller
         """
         assert not findings(src)

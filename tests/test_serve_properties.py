@@ -1,0 +1,148 @@
+"""Property tests (hypothesis): cache-key canonicalization is exact.
+
+Two properties over randomly generated queries against a real seeded
+engine:
+
+* **totality** — ``canonical_key`` is defined and deterministic for
+  every valid :class:`TsdbQuery`, and the key is hashable (usable as a
+  dict key);
+* **exactness** — whenever two queries canonicalize to the same key,
+  the engine's results for them are bit-identical (soundness: the
+  cache can never serve a wrong result), and the semantics-preserving
+  rewrites the canonicalizer is built around (tag-filter reordering,
+  group-by duplication, dropping exact-filtered group keys, the
+  dangling downsample aggregator) always *do* collapse to one key
+  (completeness on those variant classes).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import canonical_key
+from repro.tsdb import TsdbQuery, build_cluster
+from repro.tsdb.tsd import DataPoint
+
+METRIC = "energy"
+UNITS = ("u0", "u1", "u2")
+SENSORS = ("s0", "s1")
+
+
+def _seeded_engine():
+    cluster = build_cluster(n_nodes=2, salt_buckets=4, retain_data=True)
+    cluster.direct_put(
+        [
+            DataPoint.make(METRIC, t, float(t + 7 * u), {"unit": UNITS[u], "sensor": s})
+            for t in range(0, 60, 2)
+            for u in range(len(UNITS))
+            for s in SENSORS
+        ]
+    )
+    return cluster.query_engine()
+
+
+ENGINE = _seeded_engine()
+
+
+@st.composite
+def queries(draw):
+    start = draw(st.integers(min_value=0, max_value=40))
+    length = draw(st.integers(min_value=1, max_value=60))
+    filters = {}
+    if draw(st.booleans()):
+        filters["unit"] = draw(st.sampled_from(list(UNITS) + ["*"]))
+    if draw(st.booleans()):
+        filters["sensor"] = draw(st.sampled_from(list(SENSORS) + ["*"]))
+    group_by = tuple(
+        draw(st.lists(st.sampled_from(["unit", "sensor"]), max_size=3))
+    )
+    downsample = draw(st.sampled_from([None, 5, 10]))
+    return TsdbQuery(
+        metric=METRIC,
+        start=start,
+        end=start + length,
+        tag_filters=filters,
+        group_by=group_by,
+        aggregator=draw(st.sampled_from(["avg", "max", "sum", "min"])),
+        downsample_window=downsample,
+        downsample_aggregator=draw(st.sampled_from(["avg", "max"])),
+        rate=draw(st.booleans()),
+    )
+
+
+def semantic_variant(query, rng):
+    """A rewrite of ``query`` the engine must answer bit-identically."""
+    items = list(query.tag_filters.items())
+    rng.shuffle(items)
+    group_by = list(query.group_by)
+    exact = [k for k, v in items if v != "*"]
+    if group_by and rng.random() < 0.5:
+        group_by.append(rng.choice(group_by))  # duplicate a key
+    if exact and rng.random() < 0.5:
+        group_by.insert(rng.randrange(len(group_by) + 1), rng.choice(exact))
+    ds_agg = query.downsample_aggregator
+    if query.downsample_window is None:
+        ds_agg = rng.choice(["avg", "max", "sum"])  # engine never reads it
+    return TsdbQuery(
+        metric=query.metric,
+        start=query.start,
+        end=query.end,
+        tag_filters=dict(items),
+        group_by=tuple(group_by),
+        aggregator=query.aggregator,
+        downsample_window=query.downsample_window,
+        downsample_aggregator=ds_agg,
+        rate=query.rate,
+    )
+
+
+def results_identical(a, b):
+    if len(a) != len(b):
+        return False
+    return all(
+        sa.tags == sb.tags
+        and np.array_equal(sa.timestamps, sb.timestamps)
+        and np.array_equal(sa.values, sb.values)
+        for sa, sb in zip(a, b)
+    )
+
+
+class TestCanonicalizationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(queries())
+    def test_total_deterministic_and_hashable(self, query):
+        key = canonical_key(query)
+        assert key == canonical_key(query)
+        assert len({key, canonical_key(query)}) == 1  # usable as a dict key
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries(), st.randoms(use_true_random=False))
+    def test_semantic_variants_collapse_to_one_key(self, query, rng):
+        variant = semantic_variant(query, rng)
+        assert canonical_key(variant) == canonical_key(query)
+        assert results_identical(ENGINE.run(query), ENGINE.run(variant))
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries(), queries())
+    def test_equal_keys_imply_bit_identical_results(self, q1, q2):
+        if canonical_key(q1) == canonical_key(q2):
+            assert results_identical(ENGINE.run(q1), ENGINE.run(q2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(queries(), st.randoms(use_true_random=False))
+    def test_window_shift_never_collides(self, query, rng):
+        shift = rng.choice([-3, -1, 1, 2, 5])
+        if query.start + shift < 0:
+            shift = 1
+        shifted = TsdbQuery(
+            metric=query.metric,
+            start=query.start + shift,
+            end=query.end + shift,
+            tag_filters=dict(query.tag_filters),
+            group_by=query.group_by,
+            aggregator=query.aggregator,
+            downsample_window=query.downsample_window,
+            downsample_aggregator=query.downsample_aggregator,
+            rate=query.rate,
+        )
+        assert canonical_key(shifted) != canonical_key(query)
