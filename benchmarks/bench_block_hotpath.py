@@ -1,0 +1,42 @@
+"""E15 — columnar blocks: the block hot path's ingest and read payoff.
+
+The block redesign's headline claim: carrying points as contiguous
+``SeriesBlock`` columns through parse → rowkey encode → region write
+multiplies simulated ingest goodput over the per-point path (target
+>= 5x the E12 22.5k pts/s fault-free baseline), and the columnar scan
+assembler returns bit-identical results to the per-cell reference.
+
+Besides the archived table this benchmark emits ``BENCH_e15.json`` at
+the repo root — the machine-readable record the regression gate
+(``tests/test_block_hotpath_gate.py``) and EXPERIMENTS.md cite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import REGISTRY, write_json_result
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_e15.json"
+
+
+@pytest.mark.benchmark(group="blocks")
+def test_block_hotpath(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run("e15", n_points=10_000, batch_size=100),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    write_json_result(result, BENCH_JSON)
+    numbers = result.numbers
+
+    # the tentpole claim: >= 5x the E12 fault-free goodput baseline
+    assert numbers["speedup_vs_e12_baseline"] >= 5.0
+    # and comfortably above the same-workload point path
+    assert numbers["block_goodput"] > numbers["point_goodput"]
+    # every point delivered on both paths
+    assert numbers["point_failed"] == 0 and numbers["block_failed"] == 0
+    assert numbers["point_written"] == numbers["block_written"]
+    # the columnar read assembler is bit-identical to the reference
+    assert numbers["read_identical"] == 1.0

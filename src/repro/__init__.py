@@ -66,15 +66,19 @@ from .sparklet import BlockStore, RowMatrix, SparkletContext, StreamingContext
 from .tsdb import (
     AsyncQueryExecutor,
     BatchPublisher,
+    BlockBatch,
     ClusterConfig,
     DataPoint,
     IngestionDriver,
     PublishReport,
     QueryEngine,
     ReverseProxy,
+    SeriesBlock,
     TsdbCluster,
     TsdbQuery,
+    blocks_from_points,
     build_cluster,
+    parse_block,
 )
 from .serve import (
     FleetWorkload,
@@ -93,6 +97,7 @@ __all__ = [
     "AnomalyReport",
     "AsyncQueryExecutor",
     "BatchPublisher",
+    "BlockBatch",
     "BlockStore",
     "ClusterConfig",
     "CusumChart",
@@ -122,6 +127,7 @@ __all__ = [
     "QueryRejected",
     "ReverseProxy",
     "RowMatrix",
+    "SeriesBlock",
     "ShewhartChart",
     "SparkletContext",
     "StreamingContext",
@@ -136,8 +142,10 @@ __all__ = [
     "__version__",
     "aggregate_outcomes",
     "benjamini_hochberg",
+    "blocks_from_points",
     "bonferroni",
     "build_cluster",
     "evaluate_flags",
     "family_wise_error_probability",
+    "parse_block",
 ]

@@ -1,6 +1,6 @@
 """The repro-lint rule catalogue.
 
-Nine rules tuned to this repository's correctness invariants:
+Ten rules tuned to this repository's correctness invariants:
 
 ===================  ===================================================
 ``unseeded-rng``     RNG created or used without an explicit seed
@@ -32,6 +32,11 @@ Nine rules tuned to this repository's correctness invariants:
                      eviction bound in its class (the serving tier's
                      memory-safety contract: every cache is LRU/TTL
                      bounded or explicitly cleared)
+``pointwise-hotloop``  a ``for`` loop (or comprehension) over
+                     ``<series>.points`` / ``<series>.iter_points()``
+                     inside ``tsdb/`` (the hot path is columnar:
+                     iterate the block's ``timestamps``/``values``
+                     arrays instead of boxing per-point tuples)
 ===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
@@ -52,6 +57,7 @@ __all__ = [
     "FrozenSetattrRule",
     "GuardedByRule",
     "MutableDefaultRule",
+    "PointwiseHotloopRule",
     "RogueRegistryRule",
     "UnboundedCacheRule",
     "UnboundedRetryRule",
@@ -734,6 +740,75 @@ class UnboundedRetryRule(Rule):
             return func.id
         if isinstance(func, ast.Attribute):
             return func.attr
+        return None
+
+
+# ----------------------------------------------------------------------
+@register
+class PointwiseHotloopRule(Rule):
+    """Per-point Python loop over a series in the TSDB hot path.
+
+    The columnar redesign moved ingest and query onto
+    :class:`~repro.tsdb.blocks.SeriesBlock` kernels; a ``for`` loop (or
+    comprehension) over ``<series>.points`` or
+    ``<series>.iter_points()`` inside ``tsdb/`` reintroduces one boxed
+    tuple per sample and undoes the batch win.  Iterate the block's
+    ``timestamps``/``values`` columns (zero-copy numpy views) instead.
+    Compatibility shims and genuinely cold paths may suppress with a
+    justification.
+    """
+
+    id = "pointwise-hotloop"
+    summary = "per-point loop over Series points in the tsdb hot path"
+
+    _ADVICE = (
+        "iterate the block's timestamps/values columns (or use a "
+        "SeriesBlock kernel) instead of boxing per-point tuples"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return "tsdb" in source.path.parts
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            iterables: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            for expr in iterables:
+                shape = self._pointwise_shape(expr)
+                if shape is not None:
+                    yield self.finding(
+                        source,
+                        expr,
+                        f"per-point loop over {shape} in tsdb/: {self._ADVICE}",
+                    )
+
+    @staticmethod
+    def _pointwise_shape(expr: ast.expr) -> Optional[str]:
+        # for p in <obj>.points:
+        if isinstance(expr, ast.Attribute) and expr.attr == "points":
+            return f"{_dotted_name(expr) or '<...>.points'}"
+        # for p in <obj>.iter_points():
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "iter_points"
+        ):
+            return f"{_dotted_name(expr.func) or '<...>.iter_points'}()"
+        # for i, p in enumerate(<obj>.points):
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in {"enumerate", "zip", "reversed"}
+        ):
+            for arg in expr.args:
+                inner = PointwiseHotloopRule._pointwise_shape(arg)
+                if inner is not None:
+                    return inner
         return None
 
 

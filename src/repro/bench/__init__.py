@@ -6,7 +6,13 @@ from .experiments import (
     REGISTRY,
     run_ingestion,
 )
-from .harness import ExperimentRegistry, ExperimentResult, Table, format_rate
+from .harness import (
+    ExperimentRegistry,
+    ExperimentResult,
+    Table,
+    format_rate,
+    write_json_result,
+)
 
 __all__ = [
     "ExperimentRegistry",
@@ -17,4 +23,5 @@ __all__ = [
     "Table",
     "format_rate",
     "run_ingestion",
+    "write_json_result",
 ]

@@ -8,10 +8,18 @@ side-by-side.  EXPERIMENTS.md is generated from the same tables.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-__all__ = ["Table", "ExperimentResult", "ExperimentRegistry", "format_rate"]
+__all__ = [
+    "Table",
+    "ExperimentResult",
+    "ExperimentRegistry",
+    "format_rate",
+    "write_json_result",
+]
 
 
 def format_rate(samples_per_second: float) -> str:
@@ -96,6 +104,34 @@ class ExperimentResult:
         for note in self.notes:
             parts.append(f"> {note}")
         return "\n".join(parts)
+
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable form: headline numbers plus the raw tables."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "numbers": dict(self.numbers),
+            "notes": list(self.notes),
+            "tables": [
+                {
+                    "title": table.title,
+                    "headers": list(table.headers),
+                    "rows": [list(row) for row in table.rows],
+                }
+                for table in self.tables
+            ],
+        }
+
+
+def write_json_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Persist an experiment's machine-readable record (``BENCH_*.json``).
+
+    Regression gates read the ``numbers`` mapping back without parsing
+    rendered tables.
+    """
+    target = Path(path)
+    target.write_text(json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n")
+    return target
 
 
 class ExperimentRegistry:

@@ -76,6 +76,7 @@ class HTableClient:
         cells: List[Cell],
         on_done: Optional[Callable[[bool, int], None]] = None,
         batch_ids: Tuple[int, ...] = (),
+        block: bool = False,
     ) -> None:
         """Write a batch of cells; ``on_done(ok, n_cells)`` when resolved.
 
@@ -86,6 +87,9 @@ class HTableClient:
         covers).  ``batch_ids`` is trace correlation only: the ingest
         batch ids whose cells this put carries, stamped onto the
         :class:`PutRequest` so RegionServer spans join the batch trace.
+        With ``block=True`` the cells are declared to be sorted
+        per-series runs and each partition is served at the cheaper
+        block-put cost (the retry path keeps the flag).
         """
         if not cells:
             if on_done is not None:
@@ -93,12 +97,19 @@ class HTableClient:
             return
         groups = self._group_by_server(table, cells)
         for server_name, group in groups.items():
-            self._send_put(table, server_name, group, 0, on_done, batch_ids)
+            self._send_put(table, server_name, group, 0, on_done, batch_ids, block)
 
     def _group_by_server(self, table: str, cells: List[Cell]) -> Dict[Optional[str], List[Cell]]:
+        # Cells arrive in row runs (coalesced point batches and block
+        # runs alike), so the meta lookup is memoised on row change
+        # rather than paid per cell.
         groups: Dict[Optional[str], List[Cell]] = defaultdict(list)
+        last_row: Optional[bytes] = None
+        server_name: Optional[str] = None
         for cell in cells:
-            _, server_name = self.master.locate(table, cell.row)
+            if cell.row != last_row:
+                last_row = cell.row
+                _, server_name = self.master.locate(table, cell.row)
             groups[server_name].append(cell)
         return groups
 
@@ -110,13 +121,14 @@ class HTableClient:
         attempt: int,
         on_done: Optional[Callable[[bool, int], None]],
         batch_ids: Tuple[int, ...] = (),
+        block: bool = False,
     ) -> None:
         if server_name is None:
             # Region currently unassigned (recovery in flight): back off and re-route.
-            self._retry_put(table, cells, attempt, on_done, batch_ids)
+            self._retry_put(table, cells, attempt, on_done, batch_ids, block)
             return
         server = self.master.server(server_name)
-        request = PutRequest(table, cells, batch_ids)
+        request = PutRequest(table, cells, batch_ids, block)
         # One attempt resolves exactly once: first of {reply, timeout,
         # dropped send} wins; a late reply after a timeout is ignored
         # (the retry chain owns the cells from then on).
@@ -140,7 +152,7 @@ class HTableClient:
                 if on_done is not None:
                     on_done(True, len(cells))
             elif reply.retryable:
-                self._retry_put(table, cells, attempt, on_done, batch_ids)
+                self._retry_put(table, cells, attempt, on_done, batch_ids, block)
             else:
                 self._fail_put(cells, on_done)
 
@@ -149,7 +161,7 @@ class HTableClient:
             if not settle():
                 return
             self.metrics.counter("client.rpc_timeouts").inc()
-            self._retry_put(table, cells, attempt, on_done, batch_ids)
+            self._retry_put(table, cells, attempt, on_done, batch_ids, block)
 
         sent = self.network.send(
             self.host, server.node.hostname, server.rpc, request, handle_reply, self.host
@@ -159,7 +171,7 @@ class HTableClient:
             # fast into the retry path instead of hanging forever.
             if settle():
                 self.metrics.counter("client.sends_dropped").inc()
-                self._retry_put(table, cells, attempt, on_done, batch_ids)
+                self._retry_put(table, cells, attempt, on_done, batch_ids, block)
             return
         if self.rpc_timeout is not None:
             timeout_handle[0] = self.sim.schedule(self.rpc_timeout, handle_timeout)
@@ -171,6 +183,7 @@ class HTableClient:
         attempt: int,
         on_done: Optional[Callable[[bool, int], None]],
         batch_ids: Tuple[int, ...] = (),
+        block: bool = False,
     ) -> None:
         if attempt >= self.max_retries:
             self._fail_put(cells, on_done)
@@ -181,7 +194,7 @@ class HTableClient:
         def resend() -> None:
             # Re-locate: assignments may have changed while backing off.
             for server_name, group in self._group_by_server(table, cells).items():
-                self._send_put(table, server_name, group, attempt + 1, on_done, batch_ids)
+                self._send_put(table, server_name, group, attempt + 1, on_done, batch_ids, block)
 
         self.sim.schedule(delay, resend)
 

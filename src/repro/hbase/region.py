@@ -127,23 +127,46 @@ class Region:
     # write path
     # ------------------------------------------------------------------
     def put(self, cell: Cell) -> None:
-        """Insert/overwrite one cell.  Raises if the row is out of range."""
-        if not self.info.contains(cell.row):
-            raise KeyError(
-                f"row {cell.row.hex()} outside region range "
-                f"[{self.info.start_key.hex()}, {self.info.end_key.hex()})"
-            )
+        """Insert/overwrite one cell.  Raises if the row is out of range.
+
+        Point-wise convenience form of :meth:`put_block` (the single
+        implementation).
+        """
+        self.put_block([cell])
+
+    def put_block(self, cells: List[Cell]) -> None:
+        """Insert a run of cells in one call (the block write path).
+
+        Semantically identical to calling :meth:`put` per cell, but the
+        range check runs once per distinct row (block runs repeat rows
+        for long stretches), counting-only mode becomes one counter
+        bump, and the flush trigger is evaluated once per run instead
+        of once per cell.
+        """
+        if not cells:
+            return
+        prev_row: Optional[bytes] = None
+        for cell in cells:
+            if cell.row != prev_row:
+                if not self.info.contains(cell.row):
+                    raise KeyError(
+                        f"row {cell.row.hex()} outside region range "
+                        f"[{self.info.start_key.hex()}, {self.info.end_key.hex()})"
+                    )
+                prev_row = cell.row
         if not self.retain_data:
             # Counting-only mode for pure-throughput ingestion studies:
-            # the write is accounted for but the bytes are discarded, so
+            # the writes are accounted for but the bytes are discarded, so
             # multi-million-sample simulations stay within memory.
-            self.writes += 1
+            self.writes += len(cells)
             return
-        existing = self._memstore.get(cell.key)
-        if existing is None or cell.ts >= existing.ts:
-            self._memstore[cell.key] = cell
-        self.writes += 1
-        if len(self._memstore) >= self.flush_threshold:
+        memstore = self._memstore
+        for cell in cells:
+            existing = memstore.get(cell.key)
+            if existing is None or cell.ts >= existing.ts:
+                memstore[cell.key] = cell
+        self.writes += len(cells)
+        if len(memstore) >= self.flush_threshold:
             self.flush()
 
     def flush(self) -> None:

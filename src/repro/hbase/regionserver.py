@@ -58,9 +58,18 @@ class ServiceModel:
     rpc_overhead: float = 0.00025
     per_cell_write: float = 0.00005
     per_cell_read: float = 0.00002
+    #: Marginal cost of a cell arriving in a *block* put.  Block RPCs
+    #: deliver pre-sorted per-series runs, so the server skips the
+    #: per-cell region lookup and framing that dominate point puts and
+    #: appends whole runs — modelled as per_cell_write / 5, matching
+    #: the measured kernel-level speedup of the columnar path.
+    per_cell_write_block: float = 0.00001
 
     def put_cost(self, n_cells: int) -> float:
         return self.rpc_overhead + self.per_cell_write * n_cells
+
+    def put_block_cost(self, n_cells: int) -> float:
+        return self.rpc_overhead + self.per_cell_write_block * n_cells
 
     def get_cost(self) -> float:
         return self.rpc_overhead + self.per_cell_read
@@ -80,6 +89,9 @@ class PutRequest:
     table: str
     cells: List[Cell]
     batch_ids: Tuple[int, ...] = ()
+    #: Block-granular put: the cells arrive as sorted per-series runs
+    #: and are served at the cheaper ``put_block_cost``.
+    block: bool = False
 
 
 @dataclass
@@ -182,7 +194,10 @@ class RegionServer:
         retryable failure) and is reported to the crash policy.
         """
         if isinstance(request, PutRequest):
-            cost = self.service_model.put_cost(len(request.cells))
+            if request.block:
+                cost = self.service_model.put_block_cost(len(request.cells))
+            else:
+                cost = self.service_model.put_cost(len(request.cells))
         elif isinstance(request, GetRequest):
             cost = self.service_model.get_cost()
         elif isinstance(request, ScanRequest):
@@ -253,6 +268,8 @@ class RegionServer:
         self._reply(reply_to, src_host, reply)
 
     def _serve_put(self, request: PutRequest) -> RpcReply:
+        if request.block:
+            return self._serve_put_block(request)
         staged: List[tuple[Region, Cell]] = []
         for cell in request.cells:
             region = self._region_for(cell.row)
@@ -272,6 +289,44 @@ class RegionServer:
         self.cells_written += len(staged)
         self.metrics.counter("cells.written").inc(len(staged), label=self.name)
         return RpcReply.success(len(staged), self.name)
+
+    def _serve_put_block(self, request: PutRequest) -> RpcReply:
+        """Block twin of the point put: per-region runs, not per-cell ops.
+
+        Routing resolves once per row *change* (block cells repeat rows
+        for long runs) and regions ingest whole runs via
+        :meth:`Region.put_block`; WAL durability and all failure/crash
+        semantics are identical to the point path.
+        """
+        runs: List[tuple[Region, List[Cell]]] = []
+        region: Optional[Region] = None
+        run: List[Cell] = []
+        prev_row: Optional[bytes] = None
+        for cell in request.cells:
+            if cell.row != prev_row:
+                prev_row = cell.row
+                if region is None or not region.info.contains(cell.row):
+                    target = self._region_for(cell.row)
+                    if target is None:
+                        return RpcReply.failure("NotServingRegionException", self.name, True)
+                    if region is not None and run:
+                        runs.append((region, run))
+                    region, run = target, []
+            run.append(cell)
+        if region is not None and run:
+            runs.append((region, run))
+        self.wal.append_batch(request.cells)
+        self.wal.sync()
+        for target, cells in runs:
+            target.put_block(cells)
+        if len(self.wal) > self.wal_roll_threshold:
+            for hosted in self.regions.values():
+                hosted.flush()
+            self.wal.truncate()
+        n = len(request.cells)
+        self.cells_written += n
+        self.metrics.counter("cells.written").inc(n, label=self.name)
+        return RpcReply.success(n, self.name)
 
     def _serve_get(self, request: GetRequest) -> RpcReply:
         region = self._region_for(request.row)

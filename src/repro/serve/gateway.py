@@ -307,15 +307,29 @@ class QueryGateway:
         """
         self._write_epoch += 1
         touched: dict = {}
-        for p in points:
-            span = touched.get((p.metric, p.tags))
-            if span is None:
-                touched[(p.metric, p.tags)] = [p.timestamp, p.timestamp]
-            else:
-                if p.timestamp < span[0]:
-                    span[0] = p.timestamp
-                if p.timestamp > span[1]:
-                    span[1] = p.timestamp
+        spans = getattr(points, "iter_series_spans", None)
+        if spans is not None:
+            # Columnar fast path: a BlockBatch already knows each
+            # series' time extent — no per-point iteration needed.
+            for metric, tags, t_min, t_max in spans():
+                span = touched.get((metric, tags))
+                if span is None:
+                    touched[(metric, tags)] = [t_min, t_max]
+                else:
+                    if t_min < span[0]:
+                        span[0] = t_min
+                    if t_max > span[1]:
+                        span[1] = t_max
+        else:
+            for p in points:
+                span = touched.get((p.metric, p.tags))
+                if span is None:
+                    touched[(p.metric, p.tags)] = [p.timestamp, p.timestamp]
+                else:
+                    if p.timestamp < span[0]:
+                        span[0] = p.timestamp
+                    if p.timestamp > span[1]:
+                        span[1] = p.timestamp
         evicted = 0
         for (metric, tags), (t_min, t_max) in touched.items():
             evicted += self.cache.invalidate(metric, dict(tags), t_min, t_max)

@@ -7,16 +7,20 @@ compaction, and the query engine used by analysis and visualization.
 """
 
 from .aggregation import AGGREGATORS, Series, aggregate, align_union, downsample, rate
+from .blocks import BlockBatch, SeriesBlock, blocks_from_points
 from .compaction import (
     COMPACTED_MARKER,
     RowCompactor,
     compact_row_cells,
+    decompact_block,
     decompact_cell,
+    decompact_columns,
     is_compacted,
 )
 from .lineprotocol import (
     LineProtocolError,
     format_put_line,
+    parse_block,
     parse_lines,
     parse_put_line,
 )
@@ -40,6 +44,7 @@ __all__ = [
     "AsyncQueryExecutor",
     "AsyncQueryResult",
     "BatchPublisher",
+    "BlockBatch",
     "COMPACTED_MARKER",
     "ClusterConfig",
     "DATA_TABLE",
@@ -57,6 +62,7 @@ __all__ = [
     "RowCompactor",
     "RowKeyCodec",
     "Series",
+    "SeriesBlock",
     "TSDServiceModel",
     "TSDaemon",
     "TsdbCluster",
@@ -65,13 +71,17 @@ __all__ = [
     "UnknownUidError",
     "aggregate",
     "align_union",
+    "blocks_from_points",
     "build_cluster",
     "compact_row_cells",
+    "decompact_block",
     "decompact_cell",
+    "decompact_columns",
     "downsample",
     "format_put_line",
     "group_and_aggregate",
     "is_compacted",
+    "parse_block",
     "parse_lines",
     "parse_put_line",
     "rate",

@@ -5,43 +5,154 @@ semantics the query engine needs: combining multiple series into one
 (``sum``/``avg``/``min``/``max``/``count``/``dev``), downsampling a
 single series onto fixed windows, and rate conversion.
 
-Series are represented as a pair of parallel arrays ``(timestamps,
-values)`` with ``timestamps`` strictly increasing ``int64`` seconds.
+A :class:`Series` is a thin view over a columnar
+:class:`~repro.tsdb.blocks.SeriesBlock`: the canonical storage is the
+block's contiguous stdlib-``array`` columns, and ``timestamps`` /
+``values`` are zero-copy NumPy views of that memory (strictly
+increasing ``int64`` seconds / ``float64``).  Point-wise access
+(``Series(points=...)``, ``iter_points``) is a compatibility shim — the
+aggregation kernels below consume the columns directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from array import array
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .blocks import SeriesBlock, TS_TYPECODE, VAL_TYPECODE
 
 __all__ = ["Series", "AGGREGATORS", "aggregate", "downsample", "rate", "align_union"]
 
 
-@dataclass(frozen=True)
 class Series:
-    """One time series with identifying tags."""
+    """One time series with identifying tags, viewed over a block.
 
-    tags: Tuple[Tuple[str, str], ...]
-    timestamps: np.ndarray  # int64 seconds, strictly increasing
-    values: np.ndarray  # float64
+    Accepts the historical positional form ``Series(tags, timestamps,
+    values)`` (any array-likes; coerced to int64/float64), the
+    point-wise shim ``Series(points=...)``, or the zero-copy
+    ``Series.from_block(block)``.  Whatever the construction route, the
+    data lives in one :class:`SeriesBlock` and the NumPy accessors view
+    its buffers without copying.
+    """
 
-    def __post_init__(self) -> None:
-        ts, vs = np.asarray(self.timestamps), np.asarray(self.values)
+    __slots__ = ("_block", "_tags", "_ts_view", "_vals_view")
+
+    def __init__(
+        self,
+        tags: Optional[Tuple[Tuple[str, str], ...]] = None,
+        timestamps: object = None,
+        values: object = None,
+        *,
+        points: Optional[Iterable] = None,
+        block: Optional[SeriesBlock] = None,
+    ) -> None:
+        if block is not None:
+            if timestamps is not None or values is not None or points is not None:
+                raise ValueError("block= excludes timestamps/values/points")
+            self._adopt(block, tuple(tags) if tags is not None else block.tags)
+            return
+        if points is not None:
+            if timestamps is not None or values is not None:
+                raise ValueError("points= excludes timestamps/values")
+            blk = SeriesBlock.from_points(points)
+            self._adopt(blk, tuple(tags) if tags is not None else blk.tags)
+            self._validate()
+            return
+        ts = np.asarray(timestamps if timestamps is not None else ())
+        vs = np.asarray(values if values is not None else ())
         if ts.shape != vs.shape or ts.ndim != 1:
             raise ValueError("timestamps and values must be 1-D and equal length")
+        col_ts = array(TS_TYPECODE)
+        col_ts.frombytes(np.ascontiguousarray(ts, dtype=np.int64).tobytes())
+        col_vals = array(VAL_TYPECODE)
+        col_vals.frombytes(np.ascontiguousarray(vs, dtype=np.float64).tobytes())
+        blk = SeriesBlock("", tuple(tags or ()), col_ts, col_vals, _trusted=True)
+        self._adopt(blk, tuple(tags or ()))
+        self._validate()
+
+    def _adopt(self, block: SeriesBlock, tags: Tuple[Tuple[str, str], ...]) -> None:
+        # Tag order is preserved exactly as given: group-by output sorts
+        # tags, but pass-through transforms (downsample/rate) must not.
+        self._block = block
+        self._tags = tags
+        self._ts_view: Optional[np.ndarray] = None
+        self._vals_view: Optional[np.ndarray] = None
+
+    def _validate(self) -> None:
+        ts = self.timestamps
         if len(ts) > 1 and not np.all(np.diff(ts) > 0):
             raise ValueError("timestamps must be strictly increasing")
-        object.__setattr__(self, "timestamps", ts.astype(np.int64))
-        object.__setattr__(self, "values", vs.astype(np.float64))
+
+    @classmethod
+    def from_block(cls, block: SeriesBlock, validate: bool = True) -> "Series":
+        """Zero-copy view over an existing block (the hot read path)."""
+        self = cls.__new__(cls)
+        self._adopt(block, block.tags)
+        if validate:
+            self._validate()
+        return self
+
+    @property
+    def block(self) -> SeriesBlock:
+        """The underlying columnar block."""
+        return self._block
+
+    @property
+    def metric(self) -> str:
+        """Metric name, when known (empty for ad-hoc derived series)."""
+        return self._block.metric
+
+    @property
+    def tags(self) -> Tuple[Tuple[str, str], ...]:
+        return self._tags
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """int64 seconds, strictly increasing — zero-copy block view."""
+        if self._ts_view is None:
+            self._ts_view = np.frombuffer(self._block.timestamps, dtype=np.int64)
+        return self._ts_view
+
+    @property
+    def values(self) -> np.ndarray:
+        """float64 samples — zero-copy block view."""
+        if self._vals_view is None:
+            self._vals_view = np.frombuffer(self._block.values, dtype=np.float64)
+        return self._vals_view
+
+    @property
+    def points(self) -> Tuple:
+        """Boxed :class:`DataPoint` view (compatibility shim only)."""
+        return tuple(self._block.iter_points())
+
+    def iter_points(self) -> Iterator:
+        """Iterate boxed points (compatibility shim, not a hot path)."""
+        return self._block.iter_points()
 
     def __len__(self) -> int:
-        return len(self.timestamps)
+        return len(self._block)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Series):
+            return NotImplemented
+        return (
+            self._tags == other._tags
+            and self._block.metric == other._block.metric
+            and bytes(self._block.timestamps) == bytes(other._block.timestamps)
+            and bytes(self._block.values) == bytes(other._block.values)
+        )
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Series(tags={self._tags!r}, n={len(self)})"
 
     @property
     def tag_dict(self) -> Dict[str, str]:
-        return dict(self.tags)
+        return dict(self._tags)
 
 
 def _nan_agg(fn: Callable[..., np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:

@@ -1,0 +1,390 @@
+"""Columnar series blocks: the hot path's unit of data movement.
+
+The per-point ingest/query path moved one Python ``DataPoint`` object
+at a time through parse → rowkey → region → scan → aggregate, which
+caps simulated goodput far below the paper's near-linear Figure 2
+regime.  This module introduces :class:`SeriesBlock` — one series'
+worth of contiguous, parallel ``timestamp``/``value`` columns backed by
+stdlib ``array`` buffers (no numpy dependency; numpy consumers view the
+same memory zero-copy via the buffer protocol) — and
+:class:`BlockBatch`, an ordered collection of blocks that still quacks
+like the flat point sequence the proxy/publisher retry machinery
+slices, so every delivery-accounting invariant carries over unchanged.
+
+Design rules:
+
+* a ``SeriesBlock`` identifies exactly one series (``metric`` +
+  sorted ``tags``) — per-series invariants (UID interning, row-key
+  prefixes) are paid once per block instead of once per point;
+* timestamps are kept sorted (non-decreasing; duplicates allowed, as
+  ingest may legitimately re-write a second) so merges, slices and
+  row-span grouping are ``O(log n)`` + memcpy;
+* point-wise views (``iter_points`` / ``BlockBatch`` indexing) exist as
+  compatibility shims only — hot paths must stay columnar.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple, Union, overload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tsd imports us)
+    from .tsd import DataPoint
+
+__all__ = ["SeriesBlock", "BlockBatch", "blocks_from_points"]
+
+Tags = Tuple[Tuple[str, str], ...]
+
+#: array typecodes for the two columns: int64 seconds, float64 values.
+TS_TYPECODE = "q"
+VAL_TYPECODE = "d"
+
+
+def _as_ts_array(values: object) -> array:
+    """Coerce timestamps to a contiguous int64 ``array('q')``.
+
+    Buffer-protocol inputs with 8-byte items (numpy ``int64`` included)
+    are adopted via one C-level memcpy; other iterables element-wise.
+    """
+    if isinstance(values, array) and values.typecode == TS_TYPECODE:
+        return values
+    try:
+        view = memoryview(values)  # type: ignore[arg-type]
+    except TypeError:
+        return array(TS_TYPECODE, (int(v) for v in values))  # type: ignore[union-attr]
+    if view.itemsize == 8 and view.format in ("q", "l") and view.contiguous:
+        out = array(TS_TYPECODE)
+        out.frombytes(view.cast("B"))
+        return out
+    return array(TS_TYPECODE, (int(v) for v in values))  # type: ignore[union-attr]
+
+
+def _as_val_array(values: object) -> array:
+    """Coerce values to a contiguous float64 ``array('d')``."""
+    if isinstance(values, array) and values.typecode == VAL_TYPECODE:
+        return values
+    try:
+        view = memoryview(values)  # type: ignore[arg-type]
+    except TypeError:
+        return array(VAL_TYPECODE, (float(v) for v in values))  # type: ignore[union-attr]
+    if view.itemsize == 8 and view.format == "d" and view.contiguous:
+        out = array(VAL_TYPECODE)
+        out.frombytes(view.cast("B"))
+        return out
+    return array(VAL_TYPECODE, (float(v) for v in values))  # type: ignore[union-attr]
+
+
+def _is_sorted(ts: array) -> bool:
+    return all(ts[i] <= ts[i + 1] for i in range(len(ts) - 1))
+
+
+class SeriesBlock:
+    """One series' contiguous ``(timestamps, values)`` columns.
+
+    The canonical in-flight representation on the ingest and query hot
+    paths: parsing fills blocks, row-key encoding consumes a block's
+    timestamp column in one call, region writes land a block's cells as
+    one append, and the aggregation kernels view the columns zero-copy.
+
+    Construct via :meth:`from_points` / :meth:`from_columns`; the raw
+    constructor adopts pre-validated arrays without copying.
+    """
+
+    __slots__ = ("metric", "tags", "_ts", "_vals")
+
+    def __init__(
+        self,
+        metric: str,
+        tags: Tags,
+        timestamps: array,
+        values: array,
+        *,
+        _trusted: bool = False,
+    ) -> None:
+        if not _trusted:
+            timestamps = _as_ts_array(timestamps)
+            values = _as_val_array(values)
+            if len(timestamps) != len(values):
+                raise ValueError("timestamps and values must be the same length")
+            if not _is_sorted(timestamps):
+                order = sorted(range(len(timestamps)), key=timestamps.__getitem__)
+                timestamps = array(TS_TYPECODE, (timestamps[i] for i in order))
+                values = array(VAL_TYPECODE, (values[i] for i in order))
+            tags = tuple(sorted(tags))
+        self.metric = metric
+        self.tags = tags
+        self._ts = timestamps
+        self._vals = values
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        metric: str,
+        tags: Union[Tags, Dict[str, str]],
+        timestamps: Iterable[int],
+        values: Iterable[float],
+    ) -> "SeriesBlock":
+        """Build from parallel columns (any iterables or 8-byte buffers)."""
+        if isinstance(tags, dict):
+            tags = tuple(sorted(tags.items()))
+        return cls(metric, tags, timestamps, values)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_points(cls, points: Iterable["DataPoint"]) -> "SeriesBlock":
+        """Columnarise points of a *single* series (round-trip shim).
+
+        Every point must carry the same ``(metric, tags)`` identity;
+        use :func:`blocks_from_points` for heterogeneous batches.
+        """
+        ts = array(TS_TYPECODE)
+        vals = array(VAL_TYPECODE)
+        metric: str = ""
+        tags: Tags = ()
+        first = True
+        for p in points:
+            if first:
+                metric, tags, first = p.metric, p.tags, False
+            elif p.metric != metric or p.tags != tags:
+                raise ValueError(
+                    f"mixed series in from_points: {metric}{dict(tags)} vs "
+                    f"{p.metric}{dict(p.tags)}; use blocks_from_points"
+                )
+            ts.append(p.timestamp)
+            vals.append(p.value)
+        if first:
+            raise ValueError("cannot build a SeriesBlock from zero points")
+        return cls(metric, tags, ts, vals)
+
+    # ------------------------------------------------------------------
+    # columnar accessors
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> array:
+        """The int64 timestamp column (buffer-protocol contiguous)."""
+        return self._ts
+
+    @property
+    def values(self) -> array:
+        """The float64 value column (buffer-protocol contiguous)."""
+        return self._vals
+
+    @property
+    def tag_dict(self) -> Dict[str, str]:
+        return dict(self.tags)
+
+    @property
+    def start(self) -> int:
+        """First (smallest) timestamp; raises on an empty block."""
+        return self._ts[0]
+
+    @property
+    def end(self) -> int:
+        """Last (largest) timestamp; raises on an empty block."""
+        return self._ts[-1]
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ident = self.metric or "<series>"
+        return f"<SeriesBlock {ident}{dict(self.tags)} n={len(self)}>"
+
+    # ------------------------------------------------------------------
+    # point-wise compatibility shims (NOT for hot paths)
+    # ------------------------------------------------------------------
+    def iter_points(self) -> Iterator["DataPoint"]:
+        """Box the columns back into :class:`DataPoint` objects.
+
+        The inverse of :meth:`from_points`; exists so legacy point-wise
+        consumers keep working.  Hot paths consume the columns.
+        """
+        from .tsd import DataPoint
+
+        metric, tags = self.metric, self.tags
+        for t, v in zip(self._ts, self._vals):
+            yield DataPoint(metric, t, v, tags)
+
+    def point_at(self, i: int) -> "DataPoint":
+        """One boxed point by position (compatibility shim)."""
+        from .tsd import DataPoint
+
+        return DataPoint(self.metric, self._ts[i], self._vals[i], self.tags)
+
+    # ------------------------------------------------------------------
+    # columnar operations
+    # ------------------------------------------------------------------
+    def slice_time(self, start: int, end: int) -> "SeriesBlock":
+        """Points with ``start <= t < end`` (bisect + memcpy, no loop)."""
+        lo = bisect_left(self._ts, start)
+        hi = bisect_left(self._ts, end)
+        return SeriesBlock(self.metric, self.tags, self._ts[lo:hi], self._vals[lo:hi], _trusted=True)
+
+    def slice_positional(self, start: int, stop: int) -> "SeriesBlock":
+        """Positional slice ``[start:stop)`` as a new block."""
+        return SeriesBlock(
+            self.metric, self.tags, self._ts[start:stop], self._vals[start:stop], _trusted=True
+        )
+
+    def merge(self, other: "SeriesBlock") -> "SeriesBlock":
+        """Merge two blocks of the same series, keeping timestamps sorted.
+
+        Disjoint (or abutting) time ranges concatenate with two memcpys;
+        overlapping ranges fall back to a two-pointer merge.
+        """
+        if (self.metric, self.tags) != (other.metric, other.tags):
+            raise ValueError("cannot merge blocks of different series")
+        if not other:
+            return self
+        if not self:
+            return other
+        a, b = self, other
+        if b.end < a.start:
+            a, b = b, a
+        if a.end <= b.start:
+            ts = array(TS_TYPECODE, a._ts)
+            ts.extend(b._ts)
+            vals = array(VAL_TYPECODE, a._vals)
+            vals.extend(b._vals)
+            return SeriesBlock(a.metric, a.tags, ts, vals, _trusted=True)
+        ts = array(TS_TYPECODE)
+        vals = array(VAL_TYPECODE)
+        i = j = 0
+        na, nb = len(a), len(b)
+        while i < na and j < nb:
+            if a._ts[i] <= b._ts[j]:
+                ts.append(a._ts[i])
+                vals.append(a._vals[i])
+                i += 1
+            else:
+                ts.append(b._ts[j])
+                vals.append(b._vals[j])
+                j += 1
+        if i < na:
+            ts.extend(a._ts[i:])
+            vals.extend(a._vals[i:])
+        if j < nb:
+            ts.extend(b._ts[j:])
+            vals.extend(b._vals[j:])
+        return SeriesBlock(a.metric, a.tags, ts, vals, _trusted=True)
+
+    def row_spans(self, span_seconds: int) -> Iterator[Tuple[int, int, int]]:
+        """Contiguous ``(base_time, lo, hi)`` runs per storage row span.
+
+        Groups the sorted timestamp column into row-aligned runs
+        (``base_time`` = timestamp floored to ``span_seconds``) with one
+        bisect per distinct row — the unit the row-key encoder and the
+        block write path work in.
+        """
+        n = len(self._ts)
+        lo = 0
+        while lo < n:
+            base = (self._ts[lo] // span_seconds) * span_seconds
+            hi = bisect_left(self._ts, base + span_seconds, lo)
+            yield base, lo, hi
+            lo = hi
+
+
+def blocks_from_points(points: Iterable["DataPoint"]) -> List["SeriesBlock"]:
+    """Group a heterogeneous point batch into one block per series.
+
+    Blocks come out in first-seen series order; timestamps within each
+    block are sorted (arrival order is already sorted for the common
+    per-sensor streams, costing only the ``_is_sorted`` scan).
+    """
+    columns: Dict[Tuple[str, Tags], Tuple[array, array]] = {}
+    for p in points:
+        key = (p.metric, p.tags)
+        cols = columns.get(key)
+        if cols is None:
+            cols = columns[key] = (array(TS_TYPECODE), array(VAL_TYPECODE))
+        cols[0].append(p.timestamp)
+        cols[1].append(p.value)
+    return [
+        SeriesBlock(metric, tags, ts, vals)
+        for (metric, tags), (ts, vals) in columns.items()
+    ]
+
+
+class BlockBatch:
+    """An ordered batch of blocks that still acts like a point sequence.
+
+    The proxy, publisher, and TSD retry/accounting machinery reason in
+    *points*: they take ``len(batch)``, slice off durably written
+    prefixes (``batch[ack.written:]``), and re-chunk.  ``BlockBatch``
+    preserves that exact contract over columnar payloads — slicing
+    drops whole blocks and splits at most one (memcpy, no boxing) — so
+    blocks flow through every delivery path without forked logic.
+    """
+
+    __slots__ = ("blocks", "_len")
+
+    def __init__(self, blocks: Sequence[SeriesBlock]) -> None:
+        self.blocks: Tuple[SeriesBlock, ...] = tuple(b for b in blocks if len(b))
+        self._len = sum(len(b) for b in self.blocks)
+
+    @classmethod
+    def from_points(cls, points: Iterable["DataPoint"]) -> "BlockBatch":
+        """Columnarise an arbitrary point batch (one block per series)."""
+        return cls(blocks_from_points(points))
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self) -> Iterator["DataPoint"]:
+        """Boxed point iteration — compatibility shim, not a hot path."""
+        for block in self.blocks:
+            yield from block.iter_points()
+
+    @overload
+    def __getitem__(self, index: int) -> "DataPoint": ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "BlockBatch": ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union["DataPoint", "BlockBatch"]:
+        if isinstance(index, int):
+            if index < 0:
+                index += self._len
+            if not 0 <= index < self._len:
+                raise IndexError("BlockBatch index out of range")
+            for block in self.blocks:
+                if index < len(block):
+                    return block.point_at(index)
+                index -= len(block)
+            raise IndexError("BlockBatch index out of range")  # pragma: no cover
+        start, stop, step = index.indices(self._len)
+        if step != 1:
+            raise ValueError("BlockBatch slicing must be contiguous (step 1)")
+        out: List[SeriesBlock] = []
+        pos = 0
+        for block in self.blocks:
+            n = len(block)
+            lo = max(start - pos, 0)
+            hi = min(stop - pos, n)
+            if lo < hi:
+                out.append(block if (lo, hi) == (0, n) else block.slice_positional(lo, hi))
+            pos += n
+            if pos >= stop:
+                break
+        return BlockBatch(out)
+
+    def iter_series_spans(self) -> Iterator[Tuple[str, Tags, int, int]]:
+        """Per-block ``(metric, tags, t_min, t_max)`` — the write-listener
+        fast path: cache invalidation needs one span per series, not one
+        probe per point."""
+        for block in self.blocks:
+            yield block.metric, block.tags, block.start, block.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BlockBatch blocks={len(self.blocks)} points={self._len}>"

@@ -15,16 +15,21 @@ walks a table and rewrites completed rows.
 
 from __future__ import annotations
 
+import struct
+from array import array
 from typing import Dict, List, Tuple
 
 from ..hbase.bytescodec import decode_f64, decode_u16
 from ..hbase.master import HMaster
 from ..hbase.region import Cell
+from .blocks import TS_TYPECODE, VAL_TYPECODE, SeriesBlock
 
 __all__ = [
     "COMPACTED_MARKER",
     "compact_row_cells",
     "decompact_cell",
+    "decompact_columns",
+    "decompact_block",
     "is_compacted",
     "RowCompactor",
 ]
@@ -82,15 +87,48 @@ def _iter_compacted(cell: Cell):
         yield offset, value, cell.ts
 
 
+def decompact_columns(cell: Cell) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+    """Vectorized decompact: a cell's ``(offsets, values)`` parallel columns.
+
+    One ``struct.unpack`` call per column instead of one decode per
+    point — the block read path's inner loop.  Works on both compacted
+    blobs and single-point cells, so readers can treat every cell
+    uniformly.
+    """
+    if is_compacted(cell):
+        body = cell.qualifier[1:]
+        n = len(body) // 2
+        offsets = struct.unpack(f">{n}H", body)
+        values = struct.unpack(f">{n}d", cell.value[: 8 * n])
+        return offsets, values
+    return (decode_u16(cell.qualifier),), (decode_f64(cell.value),)
+
+
 def decompact_cell(cell: Cell) -> List[Tuple[int, float]]:
     """Expand a cell into ``[(offset_seconds, value)]`` point tuples.
 
-    Works on both compacted blobs and single-point cells, so readers
-    can treat every cell uniformly.
+    Point-wise convenience form of :func:`decompact_columns` (which is
+    the single implementation).
     """
-    if is_compacted(cell):
-        return [(offset, decode_f64(value)) for offset, value, _ in _iter_compacted(cell)]
-    return [(decode_u16(cell.qualifier), decode_f64(cell.value))]
+    offsets, values = decompact_columns(cell)
+    return list(zip(offsets, values))
+
+
+def decompact_block(
+    cell: Cell,
+    metric: str,
+    tags: Tuple[Tuple[str, str], ...],
+    base_time: int,
+) -> SeriesBlock:
+    """Expand a cell straight into a :class:`SeriesBlock`.
+
+    Compacted blobs store offsets sorted and de-duplicated, so the
+    resulting columns are already monotone and adopted without copies.
+    """
+    offsets, values = decompact_columns(cell)
+    ts = array(TS_TYPECODE, [base_time + o for o in offsets])
+    vals = array(VAL_TYPECODE, values)
+    return SeriesBlock(metric, tags, ts, vals, _trusted=True)
 
 
 class RowCompactor:

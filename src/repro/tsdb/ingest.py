@@ -24,6 +24,7 @@ from ..hbase.regionserver import RegionServer, ServiceModel
 from ..hbase.zookeeper import ZooKeeper
 from ..obs.telemetry import Telemetry
 from ..obs.trace import Tracer
+from .blocks import BlockBatch, SeriesBlock
 from .proxy import DirectSubmitter, ReverseProxy
 from .query import QueryEngine
 from .rowkey import RowKeyCodec
@@ -205,7 +206,14 @@ class TsdbCluster:
     # ------------------------------------------------------------------
     # convenience accessors
     # ------------------------------------------------------------------
-    def submit(self, points: List[DataPoint], on_ack: Optional[Callable[[PutAck], None]] = None) -> None:
+    def submit(self, points, on_ack: Optional[Callable[[PutAck], None]] = None) -> None:
+        """Submit a point batch (list of points or a :class:`BlockBatch`).
+
+        The ingress path is payload-shape-agnostic — it only ever takes
+        ``len()`` and point-granular slices — so columnar batches flow
+        through the same proxy window, retries, and delivery
+        accounting as point lists.
+        """
         if self._write_listeners and points:
             # Notify twice: optimistically at submit (evict before the
             # batch is even durable — conservative and cheap) and again
@@ -221,6 +229,23 @@ class TsdbCluster:
 
             on_ack = acked
         self.ingress.submit(points, on_ack)
+
+    def submit_blocks(
+        self,
+        blocks,
+        on_ack: Optional[Callable[[PutAck], None]] = None,
+    ) -> None:
+        """Submit columnar blocks through the ingress (the hot path).
+
+        Accepts a :class:`BlockBatch`, a single :class:`SeriesBlock`,
+        or an iterable of blocks; the batch is serviced end to end at
+        block-granular cost.
+        """
+        if isinstance(blocks, SeriesBlock):
+            blocks = BlockBatch([blocks])
+        elif not isinstance(blocks, BlockBatch):
+            blocks = BlockBatch(list(blocks))
+        self.submit(blocks, on_ack)
 
     def add_write_listener(self, listener: Callable[[List[DataPoint]], None]) -> None:
         """Subscribe to write notifications (cache invalidation feed)."""
@@ -273,8 +298,15 @@ class TsdbCluster:
         The offline path: analysis results written back to the TSDB
         ("results from online evaluation are reported back to OpenTSDB")
         and example/bench data loading, where ingestion *timing* is not
-        under study.  Returns the number of cells written.
+        under study.  Accepts an iterable of points, a
+        :class:`SeriesBlock`, or a :class:`BlockBatch` (columnar
+        payloads take the block fast path).  Returns the number of
+        cells written.
         """
+        if isinstance(points, SeriesBlock):
+            points = BlockBatch([points])
+        if isinstance(points, BlockBatch):
+            return self._direct_put_blocks(points)
         tsd = self.tsds[0]
         written = 0
         notify: List[DataPoint] = []
@@ -294,6 +326,45 @@ class TsdbCluster:
             # Bulk loads land synchronously, so one notification suffices.
             self._notify_writes(notify)
         return written
+
+    def _direct_put_blocks(self, batch: BlockBatch) -> int:
+        """Bulk-load a columnar batch region-run by region-run."""
+        tsd = self.tsds[0]
+        written = 0
+        for block in batch.blocks:
+            cells = tsd.encode_block(block)
+            run: List = []
+            region = None
+            prev_row: Optional[bytes] = None
+            for cell in cells:
+                if cell.row != prev_row:
+                    prev_row = cell.row
+                    if region is None or not region.info.contains(cell.row):
+                        if region is not None and run:
+                            region.put_block(run)
+                            written += len(run)
+                        run = []
+                        region = self._region_hosting(cell.row)
+                if region is not None:
+                    run.append(cell)
+            if region is not None and run:
+                region.put_block(run)
+                written += len(run)
+        if self._write_listeners and len(batch):
+            self._notify_writes(batch)
+        return written
+
+    def _region_hosting(self, row: bytes):
+        """The live region hosting ``row`` (None mirrors the point path's
+        silent skip of rows with no containing region)."""
+        _, server_name = self.master.locate(DATA_TABLE, row)
+        if server_name is None:
+            raise RuntimeError("region unassigned; cannot bulk-load")
+        server = self.master.server(server_name)
+        for region in server.hosted_regions():
+            if region.info.contains(row):
+                return region
+        return None
 
     def per_server_writes(self) -> Dict[str, int]:
         return {rs.name: rs.cells_written for rs in self.servers}

@@ -9,23 +9,61 @@ replayed from capture files and external producers can be emulated
 byte-for-byte.  Validation follows OpenTSDB's rules: metric/tag names
 are ``[A-Za-z0-9._/-]+``, at least one tag is required, timestamps are
 non-negative integers (seconds) and values are finite floats.
+
+Two batch entry points share one validation core (``_parse_fields``):
+:func:`parse_lines` yields boxed :class:`DataPoint` objects (the
+compatibility form), and :func:`parse_block` fills columnar
+:class:`~repro.tsdb.blocks.SeriesBlock` buffers directly — no per-point
+object is ever created on the block path.  Both report the 1-based line
+number of a malformed line, and neither discards the prefix parsed
+before the failure (``parse_lines`` has already yielded it;
+``parse_block`` attaches it to the error as ``partial``).
 """
 
 from __future__ import annotations
 
 import math
 import re
-from typing import Dict, Iterable, Iterator, List
+from array import array
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
+from .blocks import TS_TYPECODE, VAL_TYPECODE, BlockBatch, SeriesBlock
 from .tsd import DataPoint
 
-__all__ = ["LineProtocolError", "parse_put_line", "format_put_line", "parse_lines"]
+__all__ = [
+    "LineProtocolError",
+    "parse_put_line",
+    "format_put_line",
+    "parse_lines",
+    "parse_block",
+]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9._/\-]+$")
 
+Tags = Tuple[Tuple[str, str], ...]
+
 
 class LineProtocolError(ValueError):
-    """A malformed protocol line (the offending line is in the message)."""
+    """A malformed protocol line (the offending line is in the message).
+
+    When raised by the batch parsers the error also carries
+    ``line_number`` — the 1-based position of the offending line in the
+    input stream — and, for :func:`parse_block`, ``partial``: the
+    :class:`BlockBatch` assembled from every line *before* the failure,
+    so callers can ingest the good prefix and resume after the poison
+    line.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line_number: Optional[int] = None,
+        partial: Optional["BlockBatch"] = None,
+    ) -> None:
+        super().__init__(message)
+        self.line_number = line_number
+        self.partial = partial
 
 
 def _check_name(name: str, what: str, line: str) -> None:
@@ -33,10 +71,14 @@ def _check_name(name: str, what: str, line: str) -> None:
         raise LineProtocolError(f"invalid {what} {name!r} in line: {line!r}")
 
 
-def parse_put_line(line: str) -> DataPoint:
-    """Parse one ``put`` line into a :class:`DataPoint`."""
-    stripped = line.strip()
-    parts = stripped.split()
+def _parse_fields(line: str) -> Tuple[str, int, float, Tags]:
+    """Validate one stripped ``put`` line into unboxed fields.
+
+    The single parsing implementation: both the point-wise and the
+    block parsers delegate here, so validation can never fork.
+    Returns ``(metric, timestamp, value, sorted_tags)``.
+    """
+    parts = line.split()
     if len(parts) < 5 or parts[0] != "put":
         raise LineProtocolError(
             f"expected 'put <metric> <ts> <value> <tag=value>...': {line!r}"
@@ -65,7 +107,13 @@ def parse_put_line(line: str) -> DataPoint:
         if key in tags:
             raise LineProtocolError(f"duplicate tag {key!r} in line: {line!r}")
         tags[key] = val
-    return DataPoint.make(metric, timestamp, value, tags)
+    return metric, timestamp, value, tuple(sorted(tags.items()))
+
+
+def parse_put_line(line: str) -> DataPoint:
+    """Parse one ``put`` line into a :class:`DataPoint`."""
+    metric, timestamp, value, tags = _parse_fields(line.strip())
+    return DataPoint(metric, timestamp, value, tags)
 
 
 def format_put_line(point: DataPoint) -> str:
@@ -81,14 +129,62 @@ def parse_lines(
     """Parse a stream of protocol lines, skipping blanks and comments.
 
     With ``skip_errors`` malformed lines are dropped (the real TSD logs
-    and continues); otherwise :class:`LineProtocolError` propagates.
+    and continues); otherwise :class:`LineProtocolError` propagates
+    carrying the 1-based ``line_number``.  Points already yielded for
+    the prefix before a malformed line are never retracted.
     """
-    for line in lines:
+    for lineno, line in enumerate(lines, 1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
         try:
-            yield parse_put_line(stripped)
-        except LineProtocolError:
-            if not skip_errors:
-                raise
+            metric, timestamp, value, tags = _parse_fields(stripped)
+        except LineProtocolError as exc:
+            if skip_errors:
+                continue
+            raise LineProtocolError(f"line {lineno}: {exc}", line_number=lineno) from None
+        yield DataPoint(metric, timestamp, value, tags)
+
+
+def parse_block(lines: Iterable[str], skip_errors: bool = False) -> BlockBatch:
+    """Parse protocol lines straight into columnar blocks.
+
+    The block-path twin of :func:`parse_lines`: one
+    :class:`SeriesBlock` per distinct ``(metric, tags)`` series, filled
+    append-only with zero per-point boxing.  On a malformed line (and
+    ``skip_errors=False``) the raised :class:`LineProtocolError` carries
+    ``line_number`` and ``partial`` — the batch parsed so far — so the
+    good prefix survives the poison line.
+    """
+    columns: Dict[Tuple[str, Tags], Tuple[array, array]] = {}
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            metric, timestamp, value, tags = _parse_fields(stripped)
+        except LineProtocolError as exc:
+            if skip_errors:
+                continue
+            raise LineProtocolError(
+                f"line {lineno}: {exc}",
+                line_number=lineno,
+                partial=_finish_block_batch(columns),
+            ) from None
+        cols = columns.get((metric, tags))
+        if cols is None:
+            cols = columns[(metric, tags)] = (array(TS_TYPECODE), array(VAL_TYPECODE))
+        cols[0].append(timestamp)
+        cols[1].append(value)
+    return _finish_block_batch(columns)
+
+
+def _finish_block_batch(
+    columns: Dict[Tuple[str, Tags], Tuple[array, array]]
+) -> BlockBatch:
+    return BlockBatch(
+        [
+            SeriesBlock(metric, tags, ts, vals)
+            for (metric, tags), (ts, vals) in columns.items()
+        ]
+    )

@@ -134,12 +134,16 @@ class _BatchState:
 
     def __init__(
         self,
-        points: List[DataPoint],
+        points,
         on_ack: Optional[AckCallback],
         submitted_at: float,
         batch_id: int = 0,
         span: SpanLike = NULL_SPAN,
     ) -> None:
+        # ``points`` is any point-sequence payload — a DataPoint list or
+        # a columnar BlockBatch.  The delivery machinery only takes
+        # ``len()`` and point-granular tail slices, so partial-ack
+        # retries work identically for both shapes.
         self.remaining = points
         self.on_ack = on_ack
         self.attempts = 0
@@ -250,8 +254,15 @@ class ReverseProxy:
     # ------------------------------------------------------------------
     # ingress
     # ------------------------------------------------------------------
-    def submit(self, points: List[DataPoint], on_ack: Optional[AckCallback] = None) -> None:
-        """Accept a put batch; buffered if the in-flight window is full."""
+    def submit(self, points, on_ack: Optional[AckCallback] = None) -> None:
+        """Accept a put batch; buffered if the in-flight window is full.
+
+        ``points`` may be a :class:`DataPoint` list or a columnar
+        :class:`~repro.tsdb.blocks.BlockBatch` — the proxy is
+        payload-shape-agnostic (length, tail slicing, and forwarding
+        are all it ever does), so block batches inherit the breakers,
+        bounded retries, and ack-timeout machinery unchanged.
+        """
         batch_id = next(self._batch_seq)
         # Root span of the batch's trace: submit() to final aggregate
         # ack, spanning every dispatch/retry in between.
@@ -478,8 +489,9 @@ class DirectSubmitter:
         self._rr = 0
         self.dispatched = 0
 
-    def submit(self, points: List[DataPoint], on_ack: Optional[AckCallback] = None) -> None:
-        """Send immediately to the next TSD (or always the first if not spraying)."""
+    def submit(self, points, on_ack: Optional[AckCallback] = None) -> None:
+        """Send immediately to the next TSD (or always the first if not
+        spraying).  Accepts point lists and :class:`BlockBatch` alike."""
         if self.spray:
             tsd = self.tsds[self._rr % len(self.tsds)]
             self._rr += 1

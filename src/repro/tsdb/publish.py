@@ -41,6 +41,7 @@ from ..analysis.raceaudit import assert_holds, audited_lock
 from ..cluster.metrics import MetricsRegistry
 from ..cluster.simulation import EventHandle
 from ..obs.telemetry import component_registry
+from .blocks import BlockBatch, SeriesBlock
 from .ingest import TsdbCluster
 from .tsd import DataPoint, PutAck
 
@@ -138,7 +139,10 @@ class _PendingBatch:
 
     __slots__ = ("points", "attempts", "resolved", "deadline_handle")
 
-    def __init__(self, points: List[DataPoint]) -> None:
+    def __init__(self, points) -> None:
+        # ``points`` is any point-sequence payload (list of DataPoints
+        # or a BlockBatch); the ledger only ever takes its length and
+        # hands it back to ``cluster.submit``.
         self.points = points
         self.attempts = 0
         self.resolved = False
@@ -235,6 +239,36 @@ class BatchPublisher:
                 self._submit(batch)
                 batch = self._batch = []
 
+    def publish_blocks(self, blocks) -> None:
+        """Publish columnar blocks through the same submission window.
+
+        Accepts a :class:`BlockBatch`, one :class:`SeriesBlock`, or an
+        iterable of blocks.  The batch is chunked into
+        ``batch_size``-point :class:`BlockBatch` slices (whole blocks
+        where possible; at most one block splits per boundary) and each
+        chunk rides the identical ledger / deadline / dead-letter
+        machinery as :meth:`publish` — the payload stays columnar all
+        the way to the TSD.  Any buffered point tail is submitted first
+        so FIFO ordering holds across mixed publishes; block chunks are
+        not buffered (blocks arrive pre-batched upstream).
+        """
+        if self._closed:
+            raise RuntimeError("publisher already flushed")
+        if isinstance(blocks, SeriesBlock):
+            batch = BlockBatch([blocks])
+        elif isinstance(blocks, BlockBatch):
+            batch = blocks
+        else:
+            batch = BlockBatch(list(blocks))
+        if self._batch:
+            self._submit(self._batch)
+            self._batch = []
+        pos, total = 0, len(batch)
+        while pos < total:
+            chunk = batch[pos : pos + self.batch_size]
+            pos += len(chunk)
+            self._submit(chunk)
+
     @property
     def pending_batches(self) -> int:
         """Batches submitted but not yet durably acknowledged."""
@@ -280,7 +314,7 @@ class BatchPublisher:
         return rep
 
     # ------------------------------------------------------------------
-    def _submit(self, batch: List[DataPoint]) -> None:
+    def _submit(self, batch) -> None:
         rep = self.report
         rep.batches_submitted += 1
         rep.points_submitted += len(batch)

@@ -15,17 +15,20 @@ timing (which E1/E2/E6/E7 cover on the write path).
 
 from __future__ import annotations
 
+import struct
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..hbase.bytescodec import decode_f64
+from ..hbase.bytescodec import decode_f64, decode_u32
 from ..hbase.master import HMaster
 from ..hbase.region import Cell
 from .aggregation import AGGREGATORS, Series, aggregate, downsample, rate
-from .compaction import decompact_cell, is_compacted
-from .rowkey import RowKeyCodec
+from .blocks import TS_TYPECODE, VAL_TYPECODE, SeriesBlock
+from .compaction import decompact_cell, decompact_columns, is_compacted
+from .rowkey import _UID_WIDTH, RowKeyCodec
 from .tsd import DATA_TABLE
 from .uid import UniqueIdRegistry, UnknownUidError
 
@@ -82,6 +85,181 @@ class _ScanState:
             times = np.array(sorted(ts_map), dtype=np.int64)
             values = np.array([ts_map[int(t)][0] for t in times])
             out.append(Series(tuple(sorted(tags.items())), times, values))
+        out.sort(key=lambda s: s.tags)
+        return out
+
+
+#: Sentinel distinguishing "row not yet seen" from "row's series filtered".
+_ROW_UNSEEN = object()
+
+
+class _BlockScanState:
+    """Columnar accumulator shared across salt-bucket scans of one query.
+
+    The vectorized counterpart of :class:`_ScanState`: instead of one
+    dict operation per cell, it appends to per-series parallel
+    ``(timestamp, value, write_ts)`` columns and resolves newest-wins
+    duplicates once at the end with a single stable lexsort.  Row keys
+    are decoded at most once per distinct row (scans return cells
+    row-ordered, so one crc32/tag decode amortises over a whole row's
+    cells) and point-cell values are unpacked a row-run at a time.
+
+    Bit-identical to the per-cell reference path: the dict rule "newer
+    or equal write-ts wins, later arrival breaks ties" is exactly "last
+    element of each timestamp run after a stable sort by (ts, write_ts,
+    arrival)".
+    """
+
+    __slots__ = (
+        "codec",
+        "uids",
+        "ts_cols",
+        "val_cols",
+        "wts_cols",
+        "tags",
+        "filtered",
+        "blob_ts",
+        "_row_cache",
+    )
+
+    def __init__(self, codec: RowKeyCodec, uids: UniqueIdRegistry) -> None:
+        self.codec = codec
+        self.uids = uids
+        # series_id -> parallel append-only columns
+        self.ts_cols: Dict[bytes, array] = {}
+        self.val_cols: Dict[bytes, array] = {}
+        self.wts_cols: Dict[bytes, array] = {}
+        self.tags: Dict[bytes, Dict[str, str]] = {}
+        self.filtered: set = set()
+        # (series_id, base_time) -> newest compacted-blob write-ts
+        self.blob_ts: Dict[Tuple[bytes, int], float] = {}
+        # row bytes -> (series_id, base_time) | None when filtered out
+        self._row_cache: Dict[bytes, object] = {}  # repro-lint: ignore[unbounded-cache] -- per-query scan state; dies with the query
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest_scan(self, cells: List[Cell], query: "TsdbQuery") -> None:
+        """Fold one scan range's cells into the columns (blobs first)."""
+        blobs = [c for c in cells if is_compacted(c)]
+        if blobs:
+            self._ingest_blobs(blobs, query)
+            points = [c for c in cells if not is_compacted(c)]
+        else:
+            points = cells
+        self._ingest_points(points, query)
+
+    def _resolve_row(
+        self, row: bytes, query: "TsdbQuery"
+    ) -> Optional[Tuple[bytes, int]]:
+        entry = self._row_cache.get(row, _ROW_UNSEEN)
+        if entry is not _ROW_UNSEEN:
+            return entry  # type: ignore[return-value]
+        sid = self.codec.series_id(row)
+        pos = 1 if self.codec.salted else 0
+        base = decode_u32(row, pos + _UID_WIDTH)
+        resolved: Optional[Tuple[bytes, int]]
+        if sid in self.filtered:
+            resolved = None
+        elif sid in self.tags:
+            resolved = (sid, base)
+        else:
+            decoded = self.codec.decode(row, b"\x00\x00")
+            tags = self.uids.decode_tags(decoded.tag_pairs)
+            if QueryEngine._match_tags(tags, query.tag_filters):
+                self.tags[sid] = tags
+                resolved = (sid, base)
+            else:
+                self.filtered.add(sid)
+                resolved = None
+        self._row_cache[row] = resolved
+        return resolved
+
+    def _columns(self, sid: bytes) -> Tuple[array, array, array]:
+        ts_col = self.ts_cols.get(sid)
+        if ts_col is None:
+            ts_col = self.ts_cols[sid] = array(TS_TYPECODE)
+            self.val_cols[sid] = array(VAL_TYPECODE)
+            self.wts_cols[sid] = array("d")
+        return ts_col, self.val_cols[sid], self.wts_cols[sid]
+
+    def _ingest_blobs(self, blobs: List[Cell], query: "TsdbQuery") -> None:
+        start, end = query.start, query.end
+        for cell in blobs:
+            resolved = self._resolve_row(cell.row, query)
+            if resolved is None:
+                continue
+            sid, base = resolved
+            key = (sid, base)
+            if cell.ts >= self.blob_ts.get(key, -1.0):
+                self.blob_ts[key] = cell.ts
+            ts_col, val_col, wts_col = self._columns(sid)
+            wts = cell.ts
+            offsets, values = decompact_columns(cell)
+            for offset, value in zip(offsets, values):
+                t = base + offset
+                if start <= t < end:
+                    ts_col.append(t)
+                    val_col.append(value)
+                    wts_col.append(wts)
+
+    def _ingest_points(self, cells: List[Cell], query: "TsdbQuery") -> None:
+        start, end = query.start, query.end
+        i, n = 0, len(cells)
+        while i < n:
+            row = cells[i].row
+            j = i + 1
+            while j < n and cells[j].row == row:
+                j += 1
+            resolved = self._resolve_row(row, query)
+            if resolved is not None:
+                sid, base = resolved
+                shadow = self.blob_ts.get((sid, base), -1.0)
+                ts_col, val_col, wts_col = self._columns(sid)
+                run = cells[i:j]
+                # One struct call decodes the whole row-run's payloads.
+                values = struct.unpack(f">{len(run)}d", b"".join(c.value for c in run))
+                for cell, value in zip(run, values):
+                    # Point cells at or before a compacted blob's write
+                    # time were merged into the blob; skip them.
+                    if cell.ts <= shadow:
+                        continue
+                    t = base + int.from_bytes(cell.qualifier, "big")
+                    if start <= t < end:
+                        ts_col.append(t)
+                        val_col.append(value)
+                        wts_col.append(cell.ts)
+            i = j
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def to_series(self, metric: str = "") -> List[Series]:
+        """Resolve duplicates and materialise one Series per matched sid."""
+        out: List[Series] = []
+        for sid, ts_col in self.ts_cols.items():
+            if not len(ts_col):
+                continue
+            ts = np.frombuffer(ts_col, dtype=np.int64)
+            vals = np.frombuffer(self.val_cols[sid], dtype=np.float64)
+            wts = np.frombuffer(self.wts_cols[sid], dtype=np.float64)
+            # Stable sort by (ts, write_ts); the last element of each
+            # timestamp run is the newest write (arrival order breaking
+            # write-ts ties), matching the reference dict semantics.
+            order = np.lexsort((wts, ts))
+            ts_sorted = ts[order]
+            keep = np.empty(len(ts_sorted), dtype=bool)
+            keep[:-1] = ts_sorted[1:] != ts_sorted[:-1]
+            keep[-1] = True
+            final_ts = np.ascontiguousarray(ts_sorted[keep])
+            final_vals = np.ascontiguousarray(vals[order][keep])
+            ts_arr = array(TS_TYPECODE)
+            ts_arr.frombytes(final_ts.tobytes())
+            val_arr = array(VAL_TYPECODE)
+            val_arr.frombytes(final_vals.tobytes())
+            tags = tuple(sorted(self.tags[sid].items()))
+            block = SeriesBlock(metric, tags, ts_arr, val_arr, _trusted=True)
+            out.append(Series.from_block(block, validate=False))
         out.sort(key=lambda s: s.tags)
         return out
 
@@ -149,10 +327,30 @@ class QueryEngine:
         """Raw matching series with no grouping/aggregation (drill-down view)."""
         return self._read_series(query)
 
+    def run_pointwise(self, query: TsdbQuery) -> List[Series]:
+        """Reference execution through the per-cell scan path.
+
+        Kept for equivalence testing and read-path ablations; production
+        callers should use :meth:`run`, which is bit-identical.
+        """
+        return group_and_aggregate(query, self._read_series_pointwise(query))
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _read_series(self, query: TsdbQuery) -> List[Series]:
+        """Columnar scan assembly: the default (block) read path."""
+        try:
+            metric_uid = self.uids.get("metric", query.metric)
+        except UnknownUidError:
+            return []
+        state = _BlockScanState(self.codec, self.uids)
+        for lo, hi in self.codec.scan_ranges(metric_uid, query.start, query.end):
+            state.ingest_scan(self.master.direct_scan(self.table, lo, hi), query)
+        return state.to_series()
+
+    def _read_series_pointwise(self, query: TsdbQuery) -> List[Series]:
+        """Per-cell reference path (one dict op per cell)."""
         try:
             metric_uid = self.uids.get("metric", query.metric)
         except UnknownUidError:

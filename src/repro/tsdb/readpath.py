@@ -15,16 +15,13 @@ suite); only the timing differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Callable, List
 
 from ..cluster.simulation import Simulator
 from ..hbase.client import HTableClient
 from ..hbase.region import Cell
 from .aggregation import Series
-from .compaction import is_compacted
-from .query import QueryEngine, TsdbQuery, group_and_aggregate
+from .query import TsdbQuery, group_and_aggregate
 from .rowkey import RowKeyCodec
 from .tsd import DATA_TABLE
 from .uid import UniqueIdRegistry, UnknownUidError
@@ -68,13 +65,6 @@ class AsyncQueryExecutor:
         self.uids = uids
         self.codec = codec
         self.table = table
-        # Reuse the offline engine's cell-decoding internals so the two
-        # paths cannot drift apart semantically.
-        self._decoder = QueryEngine.__new__(QueryEngine)
-        self._decoder.master = None  # type: ignore[attr-defined]
-        self._decoder.uids = uids
-        self._decoder.codec = codec
-        self._decoder.table = table
 
     # ------------------------------------------------------------------
     def execute(
@@ -116,14 +106,11 @@ class AsyncQueryExecutor:
 
     # ------------------------------------------------------------------
     def _assemble(self, query: TsdbQuery, scans: List[List[Cell]]) -> List[Series]:
-        from .query import _ScanState
+        # Shares the offline engine's columnar scan assembler so the two
+        # read paths cannot drift apart semantically.
+        from .query import _BlockScanState
 
-        state = _ScanState()
+        state = _BlockScanState(self.codec, self.uids)
         for cells in scans:
-            for cell in cells:
-                if is_compacted(cell):
-                    self._decoder._ingest_cell(cell, query, state, is_blob=True)
-            for cell in cells:
-                if not is_compacted(cell):
-                    self._decoder._ingest_cell(cell, query, state, is_blob=False)
+            state.ingest_scan(cells, query)
         return group_and_aggregate(query, state.to_series())

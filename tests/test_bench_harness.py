@@ -83,6 +83,7 @@ class TestBuiltinRegistry:
             "e12",
             "e13",
             "e14",
+            "e15",
         }
 
 

@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.tsdb.lineprotocol import (
     LineProtocolError,
     format_put_line,
+    parse_block,
     parse_lines,
     parse_put_line,
 )
@@ -104,3 +105,53 @@ class TestParseLines:
         cluster.direct_put(parse_lines(lines))
         out = cluster.query_engine().run(TsdbQuery("energy", 0, 100))
         assert list(out[0].values) == [float(t) for t in range(10)]
+
+
+class TestPoisonedBatch:
+    """Regression: a malformed line mid-batch must report its line number
+    and must not discard the prefix parsed before it."""
+
+    POISONED = [
+        "put energy 1 1.0 unit=u0",
+        "put energy 2 2.0 unit=u0",
+        "put energy nope 3.0 unit=u0",  # line 3: bad timestamp
+        "put energy 4 4.0 unit=u0",
+    ]
+
+    def test_parse_lines_reports_line_number(self):
+        with pytest.raises(LineProtocolError) as excinfo:
+            list(parse_lines(self.POISONED))
+        assert excinfo.value.line_number == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_parse_lines_comments_count_toward_line_numbers(self):
+        lines = ["# header", "", *self.POISONED]
+        with pytest.raises(LineProtocolError) as excinfo:
+            list(parse_lines(lines))
+        assert excinfo.value.line_number == 5
+
+    def test_parse_lines_yields_prefix_before_raising(self):
+        """The generator hands over every good point before the poison."""
+        seen = []
+        with pytest.raises(LineProtocolError):
+            for point in parse_lines(self.POISONED):
+                seen.append(point)
+        assert [p.timestamp for p in seen] == [1, 2]
+
+    def test_parse_block_attaches_partial_prefix(self):
+        with pytest.raises(LineProtocolError) as excinfo:
+            parse_block(self.POISONED)
+        err = excinfo.value
+        assert err.line_number == 3
+        assert err.partial is not None
+        assert [p.timestamp for p in err.partial] == [1, 2]
+
+    def test_parse_block_skip_errors_keeps_suffix_too(self):
+        batch = parse_block(self.POISONED, skip_errors=True)
+        assert [p.timestamp for p in batch] == [1, 2, 4]
+
+    def test_parse_block_matches_parse_lines_on_clean_input(self):
+        lines = [f"put energy {t} {float(t)} unit=u0 sensor=s{t % 2}" for t in range(20)]
+        from_lines = [(p.metric, p.tags, p.timestamp, p.value) for p in parse_lines(lines)]
+        from_block = [(p.metric, p.tags, p.timestamp, p.value) for p in parse_block(lines)]
+        assert sorted(from_block) == sorted(from_lines)

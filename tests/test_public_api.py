@@ -64,6 +64,7 @@ class TestExports:
             "AnomalyReport",
             "AsyncQueryExecutor",
             "BatchPublisher",
+            "BlockBatch",
             "BlockStore",
             "ClusterConfig",
             "CusumChart",
@@ -93,6 +94,7 @@ class TestExports:
             "QueryRejected",
             "ReverseProxy",
             "RowMatrix",
+            "SeriesBlock",
             "ShewhartChart",
             "SparkletContext",
             "StreamingContext",
@@ -107,10 +109,12 @@ class TestExports:
             "__version__",
             "aggregate_outcomes",
             "benjamini_hochberg",
+            "blocks_from_points",
             "bonferroni",
             "build_cluster",
             "evaluate_flags",
             "family_wise_error_probability",
+            "parse_block",
         ]
 
     def test_new_engine_exports(self):

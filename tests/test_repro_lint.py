@@ -38,6 +38,7 @@ class TestFramework:
             "unbounded-retry",
             "rogue-registry",
             "unbounded-cache",
+            "pointwise-hotloop",
         }
 
     def test_parse_error_is_a_finding(self):
@@ -474,3 +475,66 @@ class TestUnboundedCache:
                 self._cache = {}  # repro-lint: ignore[unbounded-cache] -- bounded by caller
         """
         assert not findings(src)
+
+
+class TestPointwiseHotloop:
+    TSDB_PATH = "src/repro/tsdb/query.py"  # rule applies inside tsdb/ only
+
+    def test_for_loop_over_points_fires(self):
+        src = """
+        def scan(series):
+            total = 0.0
+            for p in series.points:
+                total += p.value
+            return total
+        """
+        assert rule_ids(src, self.TSDB_PATH) == {"pointwise-hotloop"}
+
+    def test_iter_points_call_fires(self):
+        src = """
+        def scan(series):
+            for p in series.iter_points():
+                yield p.timestamp
+        """
+        assert rule_ids(src, self.TSDB_PATH) == {"pointwise-hotloop"}
+
+    def test_comprehension_fires(self):
+        src = """
+        def values(series):
+            return [p.value for p in series.points]
+        """
+        assert rule_ids(src, self.TSDB_PATH) == {"pointwise-hotloop"}
+
+    def test_enumerate_wrapper_fires(self):
+        src = """
+        def indexed(series):
+            for i, p in enumerate(series.points):
+                yield i, p
+        """
+        assert rule_ids(src, self.TSDB_PATH) == {"pointwise-hotloop"}
+
+    def test_columnar_loop_clean(self):
+        src = """
+        def scan(series):
+            total = 0.0
+            for v in series.values:
+                total += v
+            return total
+        """
+        assert not findings(src, self.TSDB_PATH)
+
+    def test_outside_tsdb_clean(self):
+        src = """
+        def scan(series):
+            for p in series.points:
+                yield p
+        """
+        assert not findings(src, "src/repro/serve/gateway.py")
+
+    def test_suppression_applies(self):
+        src = """
+        def scan(series):
+            for p in series.points:  # repro-lint: ignore[pointwise-hotloop] -- cold path
+                yield p
+        """
+        assert not findings(src, self.TSDB_PATH)
