@@ -9,6 +9,15 @@ invariants the code maintains):
   (seeded RNG, no float equality in detector math, frozen-dataclass
   discipline, no broad excepts, no mutable defaults, ``guarded-by``
   lock annotations).  CLI: ``python -m repro.analysis <paths>``.
+* :mod:`repro.analysis.project` / :mod:`~repro.analysis.graph` /
+  :mod:`~repro.analysis.dataflow` / :mod:`~repro.analysis.crossrules`
+  — the **whole-program engine**: one indexed parse of the package
+  (symbol tables, import graph, best-effort call graph, dataflow
+  summaries) feeding cross-module rules that verify lock contracts,
+  telemetry-name agreement, ack conservation, and the columnar
+  hot path across file boundaries.  CLI: ``python -m repro.analysis
+  --project src/repro`` with baseline/cache/SARIF support
+  (:mod:`repro.analysis.reporting`).
 * :mod:`repro.analysis.raceaudit` — a runtime lock-order recorder and
   ``assert_holds`` guard, zero-cost when disabled, enabled in tests to
   fail on deadlock-shaped lock cycles and unguarded state access.
@@ -17,6 +26,13 @@ invariants the code maintains):
   elsewhere, enforced by ``tests/test_static_analysis.py``.
 """
 
+from .crossrules import (
+    CrossRule,
+    ProjectContext,
+    cross_rules,
+    run_cross_rules,
+)
+from .graph import CallGraph, ImportGraph
 from .lint import (
     Finding,
     LintReport,
@@ -26,6 +42,14 @@ from .lint import (
     lint_paths,
     lint_source,
     register,
+)
+from .project import ProjectModel
+from .reporting import (
+    AnalysisCache,
+    Baseline,
+    ProjectReport,
+    fingerprint_findings,
+    run_project,
 )
 from .raceaudit import (
     AuditedLock,
@@ -38,19 +62,31 @@ from .raceaudit import (
 )
 
 __all__ = [
+    "AnalysisCache",
     "AuditedLock",
+    "Baseline",
+    "CallGraph",
+    "CrossRule",
     "Finding",
     "GuardedStateError",
+    "ImportGraph",
     "LintReport",
     "LockOrderAuditor",
     "LockOrderViolation",
+    "ProjectContext",
+    "ProjectModel",
+    "ProjectReport",
     "Rule",
     "SourceFile",
     "all_rules",
     "assert_holds",
     "audited_lock",
     "auditing",
+    "cross_rules",
+    "fingerprint_findings",
     "lint_paths",
     "lint_source",
     "register",
+    "run_cross_rules",
+    "run_project",
 ]

@@ -1,0 +1,194 @@
+"""Light intraprocedural dataflow over one function body.
+
+This is a flow-insensitive shape pass, not an abstract interpreter: it
+classifies each local name by *how it was produced* and lets rules ask
+"is this value a zero-copy view of block storage?" or "does this
+function's return flow from a view?".  Cross-module rules combine it
+with the call graph — the hot-path copy detector uses it to tell
+``np.array(some_list)`` (fine: materializing from scratch) apart from
+``np.array(block.timestamps)`` (a copy of an existing columnar view).
+
+Shape lattice (single assignment wins; conflicting reassignment
+degrades to ``MIXED``):
+
+* ``VIEW`` — borrowed array storage: ``.timestamps``/``.values``
+  attribute reads, ``np.asarray``/``np.frombuffer``/``memoryview``
+  results, and slices/subscripts of other views.
+* ``MATERIALIZED`` — fresh storage the function owns (``np.array``,
+  ``list(...)``, comprehensions, literals, arithmetic).
+* ``OPAQUE`` — anything we can't classify (call results, parameters).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["Shape", "FunctionDataflow", "analyze_function"]
+
+
+class Shape(Enum):
+    VIEW = "view"
+    MATERIALIZED = "materialized"
+    OPAQUE = "opaque"
+    MIXED = "mixed"
+
+
+#: attribute names whose reads yield borrowed columnar storage
+_VIEW_ATTRS = frozenset({"timestamps", "values", "ts", "vals", "columns"})
+
+#: callables whose result aliases their argument's storage
+_VIEW_CALLS = frozenset({"np.asarray", "numpy.asarray", "np.frombuffer",
+                         "numpy.frombuffer", "memoryview", "asarray"})
+
+#: callables that always allocate fresh storage
+_FRESH_CALLS = frozenset({"np.array", "numpy.array", "np.empty", "np.zeros",
+                          "np.ones", "np.arange", "np.concatenate", "list",
+                          "tuple", "dict", "set", "sorted", "bytearray"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionDataflow:
+    """Shapes of locals plus attribute/return flow facts."""
+
+    shapes: Dict[str, Shape] = field(default_factory=dict)
+    #: ``self.x`` attributes written anywhere in the body
+    attr_writes: Set[str] = field(default_factory=set)
+    #: shapes that flow into ``return`` statements
+    return_shapes: Set[Shape] = field(default_factory=set)
+    #: (line, expression-text) of view-copying call sites found inline
+    view_copies: List[Tuple[int, str]] = field(default_factory=list)
+
+    def is_view(self, name: str) -> bool:
+        return self.shapes.get(name) in (Shape.VIEW, Shape.MIXED)
+
+    def returns_view(self) -> bool:
+        return Shape.VIEW in self.return_shapes or Shape.MIXED in self.return_shapes
+
+
+class _Pass(ast.NodeVisitor):
+    def __init__(self, flow: FunctionDataflow) -> None:
+        self.flow = flow
+
+    # -- assignments ---------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        shape = self._shape_of(node.value)
+        for target in node.targets:
+            self._bind(target, shape)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, self._shape_of(node.value))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._bind(node.target, Shape.OPAQUE)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        # Iterating a view yields borrowed elements; good enough to keep
+        # the loop variable out of the MATERIALIZED bucket.
+        self._bind(node.target, self._shape_of(node.iter))
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.flow.return_shapes.add(self._shape_of(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted(node.func)
+        if callee is not None and node.args:
+            tail = callee.rpartition(".")[2]
+            arg_shape = self._shape_of(node.args[0])
+            if (
+                (callee in _FRESH_CALLS or tail == "array")
+                and arg_shape is Shape.VIEW
+            ):
+                text = f"{callee}({_dotted(node.args[0]) or '<view>'})"
+                self.flow.view_copies.append((node.lineno, text))
+        self.generic_visit(node)
+
+    # -- nested scopes: skip, they have their own frames ---------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    # -- helpers -------------------------------------------------------
+    def _bind(self, target: ast.AST, shape: Shape) -> None:
+        if isinstance(target, ast.Name):
+            existing = self.flow.shapes.get(target.id)
+            if existing is not None and existing is not shape:
+                shape = Shape.MIXED
+            self.flow.shapes[target.id] = shape
+        elif isinstance(target, ast.Attribute):
+            dotted = _dotted(target)
+            if dotted is not None and dotted.startswith("self."):
+                self.flow.attr_writes.add(dotted.split(".", 1)[1])
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, Shape.OPAQUE)
+
+    def _shape_of(self, node: ast.AST) -> Shape:
+        if isinstance(node, ast.Name):
+            return self.flow.shapes.get(node.id, Shape.OPAQUE)
+        if isinstance(node, ast.Attribute):
+            if node.attr in _VIEW_ATTRS:
+                return Shape.VIEW
+            return Shape.OPAQUE
+        if isinstance(node, ast.Subscript):
+            # A slice of a view is still a view (numpy basic indexing).
+            return self._shape_of(node.value)
+        if isinstance(node, ast.Call):
+            callee = _dotted(node.func)
+            if callee is None:
+                return Shape.OPAQUE
+            if callee in _VIEW_CALLS:
+                return Shape.VIEW
+            if callee in _FRESH_CALLS or callee.rpartition(".")[2] == "array":
+                return Shape.MATERIALIZED
+            return Shape.OPAQUE
+        if isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set,
+                             ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp, ast.Constant, ast.BinOp,
+                             ast.UnaryOp, ast.JoinedStr)):
+            return Shape.MATERIALIZED
+        if isinstance(node, ast.IfExp):
+            left = self._shape_of(node.body)
+            right = self._shape_of(node.orelse)
+            return left if left is right else Shape.MIXED
+        return Shape.OPAQUE
+
+
+def analyze_function(node: ast.AST) -> FunctionDataflow:
+    """Run the shape pass over one function definition's body."""
+    flow = FunctionDataflow()
+    runner = _Pass(flow)
+    body = getattr(node, "body", None)
+    if isinstance(body, list):
+        for stmt in body:
+            runner.visit(stmt)
+    else:
+        runner.visit(node)
+    return flow

@@ -65,9 +65,18 @@ class Finding:
     col: int
     message: str
     suppressed: bool = False
+    #: Content-derived stable ID (set by the project reporter); survives
+    #: line drift so committed baselines stay reviewable.
+    fingerprint: str = ""
+    #: True when a committed baseline entry accepts this finding.
+    baselined: bool = False
 
     def format(self) -> str:
-        tail = "  [suppressed]" if self.suppressed else ""
+        tail = ""
+        if self.suppressed:
+            tail = "  [suppressed]"
+        elif self.baselined:
+            tail = "  [baselined]"
         return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}{tail}"
 
     def to_json(self) -> Dict[str, object]:

@@ -1,0 +1,425 @@
+"""Project-mode reporting: fingerprints, baseline, cache, SARIF.
+
+This layer turns raw findings (per-file rules + cross-module rules)
+into the artifacts the tier-1 gate and code review consume:
+
+* **Stable fingerprints** — each finding gets a content-derived ID
+  hashed from ``(rule, path, message, occurrence)``.  Line numbers are
+  deliberately excluded: a baseline written last month still matches
+  after unrelated edits shift the file, so baseline diffs only show
+  *real* new/removed findings.
+* **Baseline** — a committed JSON file of accepted fingerprints.
+  Baselined findings are reported (tagged) but do not fail the run;
+  ``--write-baseline`` regenerates the file from the current tree.
+* **Cache** — an on-disk map of per-file content hash → per-file
+  findings, plus tree hash → cross-rule findings.  A re-run over an
+  unchanged tree replays entirely from cache; ``--changed-files``
+  additionally trusts cached entries for files *not* named, so the
+  gate only executes rules over the diff.
+* **SARIF 2.1.0** — for editor/CI ingestion; suppressed and baselined
+  findings are carried as SARIF suppressions rather than dropped.
+
+Everything serialized here is derived from file contents and sorted
+collections — two runs over the same tree are byte-identical, which
+the determinism property test pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .crossrules import CrossRule, ProjectContext, cross_rules, run_cross_rules
+from .lint import Finding, Rule, _run_rules, all_rules
+from .project import ProjectModel
+
+__all__ = [
+    "Baseline",
+    "AnalysisCache",
+    "ProjectReport",
+    "fingerprint_findings",
+    "run_project",
+]
+
+_FINGERPRINT_BYTES = 10  # 20 hex chars: short enough to review, no collisions
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Attach stable content-derived fingerprints.
+
+    The hash covers rule, path, and message — not the line number, so
+    unrelated edits above a finding do not orphan its baseline entry.
+    Identical (rule, path, message) triples are disambiguated by an
+    occurrence counter in source order.
+    """
+    occurrences: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.col, f.message))
+    for finding in ordered:
+        key = (finding.rule, finding.path, finding.message)
+        n = occurrences.get(key, 0)
+        occurrences[key] = n + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}|{finding.path}|{finding.message}|{n}".encode("utf-8")
+        ).hexdigest()[: _FINGERPRINT_BYTES * 2]
+        out.append(dataclasses.replace(finding, fingerprint=digest))
+    return out
+
+
+def _finding_from_json(raw: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(raw["rule"]),
+        path=str(raw["path"]),
+        line=int(raw["line"]),  # type: ignore[arg-type]
+        col=int(raw["col"]),  # type: ignore[arg-type]
+        message=str(raw["message"]),
+        suppressed=bool(raw.get("suppressed", False)),
+    )
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint, committed to the repo."""
+
+    fingerprints: Set[str] = field(default_factory=set)
+    #: fingerprint -> context row kept for human review of the file
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        baseline = cls()
+        for row in data.get("findings", []):
+            fp = str(row["fingerprint"])
+            baseline.fingerprints.add(fp)
+            baseline.entries[fp] = dict(row)
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            if finding.suppressed or not finding.fingerprint:
+                continue
+            baseline.fingerprints.add(finding.fingerprint)
+            baseline.entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        return baseline
+
+    def apply(self, findings: Sequence[Finding]) -> List[Finding]:
+        return [
+            dataclasses.replace(f, baselined=f.fingerprint in self.fingerprints)
+            if not f.suppressed
+            else f
+            for f in findings
+        ]
+
+    def render(self) -> str:
+        rows = [self.entries[fp] for fp in sorted(self.entries)]
+        return json.dumps({"version": 1, "findings": rows}, indent=2) + "\n"
+
+    def write(self, path: Path | str) -> None:
+        Path(path).write_text(self.render())
+
+
+# ----------------------------------------------------------------------
+# incremental cache
+# ----------------------------------------------------------------------
+@dataclass
+class AnalysisCache:
+    """Content-hash-keyed results of a previous project run.
+
+    ``files`` maps relative path → ``{"hash": ..., "findings": [...]}``
+    for per-file rules; ``cross`` holds the tree hash and cross-rule
+    findings (cross rules see the whole program, so any file change
+    invalidates them as a unit).
+    """
+
+    files: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    cross_tree: str = ""
+    cross_findings: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "AnalysisCache":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return cls()
+        if data.get("version") != 1:
+            return cls()
+        store = cls()
+        store.files = dict(data.get("files", {}))
+        cross = data.get("cross", {})
+        store.cross_tree = str(cross.get("tree", ""))
+        store.cross_findings = list(cross.get("findings", []))
+        return store
+
+    def lookup_file(
+        self, path: str, digest: str, *, trust: bool = False
+    ) -> Optional[List[Finding]]:
+        """Cached per-file findings, or None on miss.
+
+        With ``trust`` (the ``--changed-files`` fast path) the stored
+        hash is not compared — the caller asserts the file is
+        unchanged since the cache was written.
+        """
+        entry = self.files.get(path)
+        if entry is None:
+            return None
+        if not trust and entry.get("hash") != digest:
+            return None
+        return [_finding_from_json(r) for r in entry.get("findings", [])]  # type: ignore[union-attr]
+
+    def store_file(self, path: str, digest: str, findings: Sequence[Finding]) -> None:
+        self.files[path] = {
+            "hash": digest,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "suppressed": f.suppressed,
+                }
+                for f in findings
+            ],
+        }
+
+    def lookup_cross(self, tree_digest: str) -> Optional[List[Finding]]:
+        if self.cross_tree != tree_digest:
+            return None
+        return [_finding_from_json(r) for r in self.cross_findings]
+
+    def store_cross(self, tree_digest: str, findings: Sequence[Finding]) -> None:
+        self.cross_tree = tree_digest
+        self.cross_findings = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            }
+            for f in findings
+        ]
+
+    def save(self, path: Path | str) -> None:
+        known = {str(p) for p in self.files}
+        payload = {
+            "version": 1,
+            "files": {p: self.files[p] for p in sorted(known)},
+            "cross": {"tree": self.cross_tree, "findings": self.cross_findings},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+@dataclass
+class ProjectReport:
+    """One whole-program analysis run, ready to render."""
+
+    findings: List[Finding]
+    files_checked: int
+    rule_ids: List[str]
+    import_cycles: List[Tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def actionable(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed and not f.baselined]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.actionable
+
+    def render(self, *, show_suppressed: bool = False) -> str:
+        lines = [f.format() for f in self.actionable]
+        if show_suppressed:
+            lines.extend(f.format() for f in self.baselined)
+            lines.extend(f.format() for f in self.suppressed)
+        for cycle in self.import_cycles:
+            lines.append(f"note: import cycle: {' -> '.join(cycle)}")
+        lines.append(
+            f"repro-analysis: {self.files_checked} files, "
+            f"{len(self.rule_ids)} rules, {len(self.actionable)} findings, "
+            f"{len(self.baselined)} baselined, {len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "rules": self.rule_ids,
+            "actionable": len(self.actionable),
+            "baselined": len(self.baselined),
+            "suppressed": len(self.suppressed),
+            "import_cycles": [list(c) for c in self.import_cycles],
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    def to_sarif(
+        self, rules: Sequence[Rule] = (), cross: Sequence[CrossRule] = ()
+    ) -> Dict[str, object]:
+        catalogue = [
+            {"id": r.id, "shortDescription": {"text": r.summary}}
+            for r in sorted([*rules, *cross], key=lambda r: r.id)
+        ]
+        results: List[Dict[str, object]] = []
+        for f in self.findings:
+            row: Dict[str, object] = {
+                "ruleId": f.rule,
+                "level": "note" if (f.suppressed or f.baselined) else "warning",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": max(f.col, 0) + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"reproAnalysis/v1": f.fingerprint},
+            }
+            if f.suppressed or f.baselined:
+                row["suppressions"] = [
+                    {
+                        "kind": "inSource" if f.suppressed else "external",
+                        "justification": (
+                            "repro-lint: ignore comment"
+                            if f.suppressed
+                            else "accepted in committed baseline"
+                        ),
+                    }
+                ]
+            results.append(row)
+        return {
+            "version": "2.1.0",
+            "$schema": _SARIF_SCHEMA,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-analysis",
+                            "informationUri": "https://example.invalid/repro-analysis",
+                            "rules": catalogue,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+
+    def render_sarif(
+        self, rules: Sequence[Rule] = (), cross: Sequence[CrossRule] = ()
+    ) -> str:
+        return json.dumps(self.to_sarif(rules, cross), indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+def run_project(
+    root: Path | str,
+    *,
+    per_file_rules: Optional[Sequence[Rule]] = None,
+    cross: Optional[Sequence[CrossRule]] = None,
+    baseline: Optional[Baseline] = None,
+    cache: Optional[AnalysisCache] = None,
+    changed_files: Optional[Iterable[str | Path]] = None,
+    collect_cycles: bool = True,
+) -> ProjectReport:
+    """Run the whole-program analysis over one package tree.
+
+    ``changed_files`` names the only files whose per-file rules must
+    re-run; everything else replays from ``cache`` (falling back to a
+    live run on a cache miss, so correctness never depends on the
+    flag).  Cross rules re-run whenever any file content changed.
+    """
+    active_rules = list(per_file_rules) if per_file_rules is not None else all_rules()
+    active_cross = list(cross) if cross is not None else cross_rules()
+    model = ProjectModel.build(root)
+    changed: Optional[Set[str]] = None
+    if changed_files is not None:
+        changed = {Path(p).as_posix() for p in changed_files}
+
+    findings: List[Finding] = []
+    for name in sorted(model.modules, key=lambda n: str(model.modules[n].path)):
+        module = model.modules[name]
+        rel = module.path.as_posix()
+        cached: Optional[List[Finding]] = None
+        if cache is not None:
+            trust = changed is not None and rel not in changed
+            cached = cache.lookup_file(rel, module.digest, trust=trust)
+        if cached is None:
+            cached = _run_rules(module.source, active_rules)
+            if cache is not None:
+                cache.store_file(rel, module.digest, cached)
+        findings.extend(cached)
+    for path, message in sorted(model.parse_errors.items()):
+        findings.append(
+            Finding(rule="parse-error", path=path, line=1, col=0, message=message)
+        )
+
+    tree = model.tree_digest()
+    cross_found: Optional[List[Finding]] = None
+    if cache is not None:
+        cross_found = cache.lookup_cross(tree)
+    cycles: List[Tuple[str, ...]] = []
+    if cross_found is None or collect_cycles:
+        ctx = ProjectContext.build(model)
+        if collect_cycles:
+            cycles = ctx.imports.cycles()
+        if cross_found is None:
+            cross_found = run_cross_rules(ctx, active_cross)
+            if cache is not None:
+                cache.store_cross(tree, cross_found)
+    findings.extend(cross_found)
+
+    findings = fingerprint_findings(findings)
+    if baseline is not None:
+        findings = baseline.apply(findings)
+    rule_ids = sorted([r.id for r in active_rules] + [r.id for r in active_cross])
+    return ProjectReport(
+        findings=findings,
+        files_checked=len(model.modules),
+        rule_ids=rule_ids,
+        import_cycles=cycles,
+    )

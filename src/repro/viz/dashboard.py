@@ -45,6 +45,11 @@ _SELF_METRIC_PREFIXES = (
     "publish.",
     "chaos.",
     "serve.",
+    # Server-level load metrics land in the unrouted "cluster" tree but
+    # are written back by SelfReporter like every other namespace; the
+    # platform panel silently dropped them until telemetry-drift
+    # (repro.analysis cross rule) flagged the missing prefix.
+    "server.",
 )
 
 #: Self-telemetry timestamps run on the simulator clock, not the data

@@ -358,6 +358,16 @@ class TestPlatformHealthPanel:
         assert "proxy.ack_latency.p99" in panel
         assert "<svg" in panel  # trend sparklines
 
+    def test_server_load_metrics_reach_the_panel(self):
+        # Regression: "server." was missing from _SELF_METRIC_PREFIXES,
+        # so the Server load series (server.served, server.busy_time)
+        # written back by SelfReporter never rendered on the platform
+        # panel.  Surfaced by the telemetry-drift cross-module rule.
+        cluster = self._reported_cluster()
+        panel = Dashboard(cluster.query_engine()).platform_health_html()
+        assert "server.served" in panel
+        assert "server.busy_time" in panel
+
     def test_panel_empty_without_self_telemetry(self):
         cluster = build_cluster(n_nodes=1, retain_data=True)
         dashboard = Dashboard(cluster.query_engine())

@@ -84,6 +84,14 @@ class TestReproLint:
             "unbounded-retry",
             "rogue-registry",
         } <= listed
+        # The catalogue also lists the whole-program rules (tagged
+        # [project]; gated in tests/test_static_analysis_gate.py).
+        assert {
+            "guarded-helper-path",
+            "telemetry-drift",
+            "ack-escape",
+            "hotpath-copy",
+        } <= listed
 
     def test_exit_code_on_findings(self, tmp_path):
         bad = tmp_path / "bad.py"
