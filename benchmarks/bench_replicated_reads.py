@@ -1,0 +1,48 @@
+"""E16 — replicated reads: availability through RegionServer crashes.
+
+The robustness claim behind region replicas: with one follower per
+region, deadline-bounded hedged timeline reads keep succeeding inside
+crash windows the master has not even detected yet (>= 99% in-window
+availability vs ~0% unreplicated), no WAL-synced cell is lost across
+failover, and the asynchronous WAL shipping stays within the stated
+fault-free goodput budget.
+
+Besides the archived table this benchmark emits ``BENCH_e16.json`` at
+the repo root — the machine-readable record the regression gate
+(``tests/test_replicated_reads_gate.py``) and EXPERIMENTS.md cite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import REGISTRY, write_json_result
+from repro.bench.experiments import E16_OVERHEAD_BUDGET, E16_STALENESS_BOUND
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_e16.json"
+
+
+@pytest.mark.benchmark(group="replication")
+def test_replicated_reads(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run("e16"),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    write_json_result(result, BENCH_JSON)
+    numbers = result.numbers
+
+    # the tentpole claim: crash windows stop being read outages
+    assert numbers["replicated_availability"] >= 0.99
+    assert numbers["unreplicated_availability"] <= 0.20
+    # successful timeline reads surfaced a bounded staleness
+    assert numbers["replicated_max_staleness"] <= E16_STALENESS_BOUND
+    # failover promoted followers and lost no WAL-synced cell
+    assert numbers["replicated_failovers"] > 0
+    assert numbers["replicated_synced_cells_lost"] == 0
+    assert numbers["replicated_post_crash_strong_points"] == numbers["points_expected"]
+    # replication ships asynchronously — near-free on publish goodput
+    assert numbers["overhead_frac"] <= E16_OVERHEAD_BUDGET
+    # strong-mode gateway responses are bit-identical to the engine
+    assert numbers["strong_identical"] == 1.0

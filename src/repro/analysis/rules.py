@@ -1,6 +1,6 @@
 """The repro-lint rule catalogue.
 
-Ten rules tuned to this repository's correctness invariants:
+Eleven rules tuned to this repository's correctness invariants:
 
 ===================  ===================================================
 ``unseeded-rng``     RNG created or used without an explicit seed
@@ -37,6 +37,12 @@ Ten rules tuned to this repository's correctness invariants:
                      inside ``tsdb/`` (the hot path is columnar:
                      iterate the block's ``timestamps``/``values``
                      arrays instead of boxing per-point tuples)
+``deadline-free-rpc``  an ``HTableClient`` constructed without an
+                     explicit ``rpc_timeout`` (or with it disabled):
+                     an in-flight RPC to a crashed server never
+                     replies, so a deadline-free client hangs forever
+                     where the replicated read path would have failed
+                     over)
 ===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
@@ -53,6 +59,7 @@ from .lint import Finding, Rule, SourceFile, register
 
 __all__ = [
     "BroadExceptRule",
+    "DeadlineFreeRpcRule",
     "FloatEqualityRule",
     "FrozenSetattrRule",
     "GuardedByRule",
@@ -810,6 +817,60 @@ class PointwiseHotloopRule(Rule):
                 if inner is not None:
                     return inner
         return None
+
+
+# ----------------------------------------------------------------------
+@register
+class DeadlineFreeRpcRule(Rule):
+    """RPC client constructed without a per-RPC deadline.
+
+    A crashed RegionServer never answers RPCs that were already in
+    flight when it died — only the deadline timer turns that silence
+    into a retry (and, on the replicated read path, a failover to a
+    follower).  An :class:`~repro.hbase.client.HTableClient` built
+    without an explicit ``rpc_timeout`` therefore hangs for the whole
+    crash-detection window; one built with ``rpc_timeout=None``
+    disables the timer outright.  Every in-package construction site
+    must pass an explicit, non-None ``rpc_timeout=``.  Tests,
+    benchmarks and examples (outside the package tree) are exempt, as
+    are deliberate sites suppressed with a justification.
+    """
+
+    id = "deadline-free-rpc"
+    summary = "HTableClient constructed without an explicit rpc_timeout"
+
+    _CLIENTS = {"HTableClient"}
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return "repro" in source.path.parts
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None or dotted.rpartition(".")[2] not in self._CLIENTS:
+                continue
+            timeout = next(
+                (kw.value for kw in node.keywords if kw.arg == "rpc_timeout"), None
+            )
+            if timeout is None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"{dotted}(...) without rpc_timeout=: an in-flight RPC "
+                    "to a crashed server never replies, so the client "
+                    "hangs instead of retrying/failing over; pass an "
+                    "explicit per-RPC deadline",
+                )
+            elif isinstance(timeout, ast.Constant) and timeout.value is None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"{dotted}(rpc_timeout=None) disables the per-RPC "
+                    "deadline; bound every RPC so crashes surface as "
+                    "retryable timeouts",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,13 @@ class Injector:
         elif event.action in ("partition", "heal", "slow_link", "restore_link"):
             if event.target not in self._hosts:
                 raise ValueError(f"unknown host {event.target!r}")
+        elif event.action in ("wal_lag", "wal_lag_clear", "replica_stall", "replica_resume"):
+            if event.target not in self._servers:
+                raise ValueError(f"unknown RegionServer {event.target!r}")
+            if self.cluster.replication is None:
+                raise ValueError(
+                    f"{event.action!r} needs a replicated cluster (replication_factor >= 2)"
+                )
 
     # ------------------------------------------------------------------
     # firing
@@ -105,6 +112,15 @@ class Injector:
             self.cluster.network.slow_host(event.target, event.factor)
         elif action == "restore_link":
             self.cluster.network.restore_host(event.target)
+        elif action == "wal_lag":
+            # Degraded, not down: followers fall behind but stay readable.
+            self.cluster.replication.set_ship_lag(event.target, event.factor)
+        elif action == "wal_lag_clear":
+            self.cluster.replication.clear_ship_lag(event.target)
+        elif action == "replica_stall":
+            self.cluster.replication.stall_followers(event.target)
+        elif action == "replica_resume":
+            self.cluster.replication.resume_followers(event.target)
         elif action == "overload_burst":
             self._start_burst(event, index)
         elif action == "random_crashes":

@@ -28,11 +28,20 @@ Supported actions
     Arm a :class:`~repro.cluster.failures.RandomCrashInjector`
     (Poisson ``mtbf``/``mttr``) against one RegionServer for
     ``duration`` seconds.
+``wal_lag`` / ``wal_lag_clear``
+    Multiply the WAL-shipping delay out of one RegionServer by
+    ``factor`` — follower replicas fed from it fall behind, widening
+    timeline-read staleness bounds (degraded, not down).
+``replica_stall`` / ``replica_resume``
+    Freeze the follower apply loops hosted on one RegionServer — its
+    replicas stop draining shipped entries entirely until resumed
+    (degraded, not down).
 
 Events that model an outage (``tsd_crash``, ``rs_crash``,
-``partition``, ``slow_link``) accept a ``duration``; the injector
-derives the matching recovery event automatically.  Omitting it leaves
-the component down for the rest of the run.
+``partition``, ``slow_link``, ``wal_lag``, ``replica_stall``) accept a
+``duration``; the injector derives the matching recovery event
+automatically.  Omitting it leaves the component down (or degraded)
+for the rest of the run.
 """
 
 from __future__ import annotations
@@ -48,6 +57,8 @@ RECOVERY_ACTIONS = {
     "rs_crash": "rs_restart",
     "partition": "heal",
     "slow_link": "restore_link",
+    "wal_lag": "wal_lag_clear",
+    "replica_stall": "replica_resume",
 }
 
 ACTIONS = frozenset(RECOVERY_ACTIONS) | frozenset(RECOVERY_ACTIONS.values()) | {
@@ -87,8 +98,8 @@ class FaultEvent:
             raise ValueError(f"action {self.action!r} needs a target")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration must be positive")
-        if self.action == "slow_link" and self.factor < 1.0:
-            raise ValueError("slow_link factor must be >= 1")
+        if self.action in ("slow_link", "wal_lag") and self.factor < 1.0:
+            raise ValueError(f"{self.action} factor must be >= 1")
         if self.action == "overload_burst" and self.points < 1:
             raise ValueError("overload_burst needs points >= 1")
         if self.action == "random_crashes":

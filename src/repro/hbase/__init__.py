@@ -22,8 +22,13 @@ from .bytescodec import (
     encode_u64,
     increment_key,
 )
-from .client import HTableClient
-from .master import HMaster, TableNotFoundError
+from .client import CONSISTENCY_MODES, HTableClient, ScanResult
+from .master import (
+    HMaster,
+    RegionUnavailableError,
+    ReplicaLocation,
+    TableNotFoundError,
+)
 from .region import Cell, Region, RegionInfo, StoreFile
 from .regionserver import (
     GetRequest,
@@ -33,11 +38,14 @@ from .regionserver import (
     ScanRequest,
     ServiceModel,
 )
+from .replication import FollowerReplica, ReplicaSet, ReplicationCoordinator
 from .wal import WriteAheadLog
 from .zookeeper import NodeExistsError, NoNodeError, Session, ZooKeeper
 
 __all__ = [
+    "CONSISTENCY_MODES",
     "Cell",
+    "FollowerReplica",
     "GetRequest",
     "HMaster",
     "HTableClient",
@@ -47,8 +55,13 @@ __all__ = [
     "Region",
     "RegionInfo",
     "RegionServer",
+    "RegionUnavailableError",
+    "ReplicaLocation",
+    "ReplicaSet",
+    "ReplicationCoordinator",
     "RpcReply",
     "ScanRequest",
+    "ScanResult",
     "ServiceModel",
     "Session",
     "StoreFile",

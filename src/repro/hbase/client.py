@@ -1,10 +1,17 @@
-"""HBase client: row-key routing, retries and exponential backoff.
+"""HBase client: row-key routing, retries, deadlines and hedged reads.
 
 The client looks up region locations from the master (the meta-table
 stand-in), groups batched puts per destination RegionServer, and retries
 retryable failures — queue overflow, regions in motion after a crash —
 with exponential backoff, exactly the behaviour the TSD daemons layer
 on top of.
+
+The read path is replica-aware: scans fan out one RPC per region with
+a per-RPC deadline, bounded *jittered* retries, an optional hedged
+second request after a latency threshold, and an explicit consistency
+mode — ``strong`` reads primary copies only, ``timeline`` may rotate
+onto follower replicas and reports the staleness bound that came back
+with the data.
 
 All operations are asynchronous: they return immediately and invoke the
 supplied callback when the RPC (including retries) resolves, in
@@ -13,18 +20,45 @@ simulated time.
 
 from __future__ import annotations
 
+import random
+import zlib
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster.metrics import MetricsRegistry
 from ..obs.telemetry import component_registry
 from ..cluster.network import Network
 from ..cluster.simulation import Simulator
-from .master import HMaster
+from .master import HMaster, ReplicaLocation
 from .region import Cell
 from .regionserver import GetRequest, PutRequest, RpcReply, ScanRequest
 
-__all__ = ["HTableClient"]
+__all__ = ["CONSISTENCY_MODES", "HTableClient", "ScanResult"]
+
+#: Explicit read-consistency modes (HBase's Consistency.STRONG/TIMELINE).
+CONSISTENCY_MODES = ("strong", "timeline")
+
+#: Sentinel meaning "use the client's configured rpc_timeout".
+_DEFAULT_DEADLINE = object()
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one replica-aware scan.
+
+    ``ok`` is False when at least one region's share could not be read
+    within the retry budget (the merged ``cells`` are then partial).
+    ``staleness`` is the worst follower staleness bound that
+    contributed; 0.0 when every share came from a primary.
+    """
+
+    cells: List[Cell] = field(default_factory=list)
+    ok: bool = True
+    staleness: float = 0.0
+    retries: int = 0
+    hedges: int = 0
+    follower_reads: int = 0
 
 
 class HTableClient:
@@ -66,6 +100,9 @@ class HTableClient:
         self.backoff_mult = backoff_mult
         self.rpc_timeout = rpc_timeout
         self.metrics = metrics if metrics is not None else component_registry("tsd")
+        # Deterministic per-host jitter source (seeded, so simulations
+        # replay identically; hash() is process-randomised, crc32 is not).
+        self._rng = random.Random(zlib.crc32(host.encode("utf-8", "replace")))
 
     # ------------------------------------------------------------------
     # puts
@@ -265,36 +302,236 @@ class HTableClient:
         start_row: bytes,
         end_row: bytes,
         on_done: Callable[[List[Cell]], None],
+        consistency: str = "strong",
+        deadline: object = _DEFAULT_DEADLINE,
+        hedge_delay: Optional[float] = None,
     ) -> None:
-        """Range scan across all overlapping regions; results merged sorted."""
-        targets = self.master.locate_range(table, start_row, end_row)
-        servers = sorted({srv for _, srv in targets if srv is not None})
-        if not servers:
-            on_done([])
-            return
-        collected: List[Cell] = []
-        remaining = [len(servers)]
+        """Range scan across all overlapping regions; results merged sorted.
 
-        def handle(reply: RpcReply) -> None:
-            if reply.ok and reply.result:
-                collected.extend(reply.result)  # type: ignore[arg-type]
+        Compatibility wrapper over :meth:`scan_replicated` delivering
+        the merged cells alone (callers that need the availability/
+        staleness envelope use :meth:`scan_replicated` directly).
+        """
+        self.scan_replicated(
+            table,
+            start_row,
+            end_row,
+            lambda result: on_done(result.cells),
+            consistency=consistency,
+            deadline=deadline,
+            hedge_delay=hedge_delay,
+        )
+
+    def scan_replicated(
+        self,
+        table: str,
+        start_row: bytes,
+        end_row: bytes,
+        on_done: Callable[[ScanResult], None],
+        consistency: str = "strong",
+        deadline: object = _DEFAULT_DEADLINE,
+        hedge_delay: Optional[float] = None,
+    ) -> None:
+        """Replica-aware range scan; delivers a :class:`ScanResult`.
+
+        One RPC per overlapping region, each with a per-RPC ``deadline``
+        (defaults to the client's ``rpc_timeout``; pass ``None`` to wait
+        forever).  Failed attempts retry with jittered exponential
+        backoff up to ``max_retries``; ``timeline`` mode rotates retries
+        across the primary and its follower replicas.  With
+        ``hedge_delay`` set, a duplicate RPC goes to the next replica
+        candidate once the first has been outstanding that long —
+        first answer wins, the loser is ignored.
+        """
+        if consistency not in CONSISTENCY_MODES:
+            raise ValueError(f"consistency must be one of {CONSISTENCY_MODES}")
+        if deadline is _DEFAULT_DEADLINE:
+            deadline = self.rpc_timeout
+        if deadline is not None and deadline <= 0:  # type: ignore[operator]
+            raise ValueError("deadline must be positive (or None)")
+        locations = self.master.locate_range_replicas(table, start_row, end_row)
+        if not locations:
+            on_done(ScanResult())
+            return
+        shares: List[ScanResult] = []
+        remaining = [len(locations)]
+
+        def settle_share(share: ScanResult) -> None:
+            shares.append(share)
             remaining[0] -= 1
-            if remaining[0] == 0:
-                # Deduplicate cells that appear via multiple region scans.
-                seen = {}
-                for cell in collected:
+            if remaining[0] > 0:
+                return
+            # Deduplicate cells that appear via multiple region scans
+            # (e.g. a range re-located across a concurrent split).
+            seen: Dict[Tuple[bytes, bytes], Cell] = {}
+            for share_result in shares:
+                for cell in share_result.cells:
                     existing = seen.get(cell.key)
                     if existing is None or cell.ts >= existing.ts:
                         seen[cell.key] = cell
-                on_done(sorted(seen.values(), key=lambda c: c.key))
-
-        request = ScanRequest(table, start_row, end_row)
-        for name in servers:
-            server = self.master.server(name)
-            sent = self.network.send(
-                self.host, server.node.hostname, server.rpc, request, handle, self.host
+            on_done(
+                ScanResult(
+                    cells=sorted(seen.values(), key=lambda c: c.key),
+                    ok=all(s.ok for s in shares),
+                    staleness=max((s.staleness for s in shares), default=0.0),
+                    retries=sum(s.retries for s in shares),
+                    hedges=sum(s.hedges for s in shares),
+                    follower_reads=sum(s.follower_reads for s in shares),
+                )
             )
-            if sent is None:
-                # Partitioned server contributes no cells; resolve its
-                # share so the merge still completes.
-                handle(RpcReply.failure("partitioned", name))
+
+        for location in locations:
+            anchor = max(start_row, location.info.start_key)
+            self._scan_region(
+                table, start_row, end_row, anchor, consistency,
+                deadline, hedge_delay, 0, ScanResult(), settle_share,
+            )
+
+    def _replica_candidates(
+        self, location: ReplicaLocation, consistency: str, attempt: int
+    ) -> List[str]:
+        """Replica servers to try this attempt, preferred target first.
+
+        ``strong`` always targets the primary.  ``timeline`` rotates the
+        start of the candidate ring by attempt number, so consecutive
+        retries walk away from a dead or slow primary instead of
+        hammering it.
+        """
+        if consistency == "strong":
+            return [location.primary] if location.primary is not None else []
+        ring = [location.primary] if location.primary is not None else []
+        ring.extend(location.followers)
+        if not ring:
+            return []
+        shift = attempt % len(ring)
+        return ring[shift:] + ring[:shift]
+
+    def _scan_region(
+        self,
+        table: str,
+        start_row: bytes,
+        end_row: bytes,
+        anchor: bytes,
+        consistency: str,
+        deadline: Optional[float],
+        hedge_delay: Optional[float],
+        attempt: int,
+        stats: ScanResult,
+        settle_share: Callable[[ScanResult], None],
+    ) -> None:
+        """One attempt at reading one region's share of a scan."""
+        location = self.master.locate_replicas(table, anchor)
+        candidates = self._replica_candidates(location, consistency, attempt)
+        if not candidates:
+            # No copy of the region is assigned anywhere: resolve this
+            # share immediately (empty, failed) — matching the legacy
+            # behaviour where unassigned regions contributed nothing —
+            # rather than burning the retry budget on an empty cluster.
+            self.metrics.counter("client.scan_failed").inc()
+            settle_share(ScanResult(ok=False, retries=stats.retries,
+                                    hedges=stats.hedges,
+                                    follower_reads=stats.follower_reads))
+            return
+        request = ScanRequest(table, start_row, end_row,
+                              region_name=location.info.name,
+                              consistency=consistency)
+        # One attempt settles exactly once: first of {reply, hedged
+        # reply, deadline, dropped send} wins; late arrivals are ignored.
+        resolved = [False]
+        outstanding = [0]
+        timers: List[object] = []
+
+        def settle() -> bool:
+            if resolved[0]:
+                return False
+            resolved[0] = True
+            for handle in timers:
+                handle.cancel()  # type: ignore[attr-defined]
+            return True
+
+        def retry() -> None:
+            if attempt >= self.max_retries:
+                self.metrics.counter("client.scan_failed").inc()
+                settle_share(ScanResult(ok=False, retries=stats.retries,
+                                        hedges=stats.hedges,
+                                        follower_reads=stats.follower_reads))
+                return
+            stats.retries += 1
+            self.metrics.counter("client.scan_retries").inc()
+            # Jittered exponential backoff: the 0.5-1.5x spread keeps a
+            # fleet of clients from re-converging on a recovering server.
+            delay = (self.backoff_base * (self.backoff_mult ** attempt)
+                     * (0.5 + self._rng.random()))
+            self.sim.schedule(
+                delay, self._scan_region, table, start_row, end_row, anchor,
+                consistency, deadline, hedge_delay, attempt + 1, stats, settle_share,
+            )
+
+        def handle_reply(reply: RpcReply) -> None:
+            if resolved[0]:
+                return
+            if not reply.ok and reply.retryable:
+                # A fast-reject from one replica (e.g. a crashed server
+                # bouncing its call queue) must not abandon a sibling
+                # RPC — the original or its hedge — still in flight:
+                # the first good answer or the shared deadline decides.
+                outstanding[0] -= 1
+                if outstanding[0] > 0:
+                    return
+            if not settle():
+                return
+            if reply.ok:
+                if reply.staleness > 0.0 or reply.server != location.primary:
+                    stats.follower_reads += 1
+                    self.metrics.counter("client.follower_reads").inc()
+                settle_share(ScanResult(
+                    cells=list(reply.result or ()),  # type: ignore[arg-type]
+                    ok=True,
+                    staleness=reply.staleness,
+                    retries=stats.retries,
+                    hedges=stats.hedges,
+                    follower_reads=stats.follower_reads,
+                ))
+            elif reply.retryable:
+                retry()
+            else:
+                self.metrics.counter("client.scan_failed").inc()
+                settle_share(ScanResult(ok=False, retries=stats.retries,
+                                        hedges=stats.hedges,
+                                        follower_reads=stats.follower_reads))
+
+        def handle_deadline() -> None:
+            # Crashed server never replied / partition ate the reply.
+            if not settle():
+                return
+            self.metrics.counter("client.scan_timeouts").inc()
+            retry()
+
+        def send_to(server_name: str) -> bool:
+            server = self.master.server(server_name)
+            sent = self.network.send(
+                self.host, server.node.hostname, server.rpc,
+                request, handle_reply, self.host,
+            )
+            if sent is not None:
+                outstanding[0] += 1
+            return sent is not None
+
+        def fire_hedge(server_name: str) -> None:
+            if resolved[0]:
+                return
+            stats.hedges += 1
+            self.metrics.counter("client.hedges").inc()
+            send_to(server_name)  # a dropped hedge changes nothing
+
+        if not send_to(candidates[0]):
+            # The network dropped the send (partitioned endpoint): fail
+            # fast into the retry path instead of hanging forever.
+            if settle():
+                self.metrics.counter("client.sends_dropped").inc()
+                retry()
+            return
+        if deadline is not None:
+            timers.append(self.sim.schedule(deadline, handle_deadline))
+        if hedge_delay is not None and len(candidates) > 1:
+            timers.append(self.sim.schedule(hedge_delay, fire_hedge, candidates[1]))

@@ -22,17 +22,36 @@ from __future__ import annotations
 import bisect
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from .region import Region, RegionInfo
+from ..cluster.metrics import MetricsRegistry
+from ..obs.telemetry import component_registry
+from .region import Cell, Region, RegionInfo
 from .regionserver import RegionServer
 from .zookeeper import Session, ZooKeeper
 
-__all__ = ["HMaster", "TableNotFoundError"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.simulation import Simulator
+    from .replication import ReplicationCoordinator
+
+__all__ = ["HMaster", "RegionUnavailableError", "ReplicaLocation", "TableNotFoundError"]
 
 
 class TableNotFoundError(KeyError):
     """Lookup of a table that was never created."""
+
+
+class RegionUnavailableError(RuntimeError):
+    """No copy of a region can serve the requested consistency mode."""
+
+
+@dataclass(frozen=True)
+class ReplicaLocation:
+    """Replica-aware routing entry: region + primary + follower servers."""
+
+    info: RegionInfo
+    primary: Optional[str]
+    followers: Tuple[str, ...]
 
 
 @dataclass
@@ -44,7 +63,15 @@ class _Assignment:
 class HMaster:
     """Cluster coordinator for the simulated HBase deployment."""
 
-    def __init__(self, zk: Optional[ZooKeeper] = None) -> None:
+    def __init__(
+        self,
+        zk: Optional[ZooKeeper] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sim: Optional["Simulator"] = None,
+        failure_detection_delay: float = 0.0,
+    ) -> None:
+        if failure_detection_delay < 0:
+            raise ValueError("failure_detection_delay must be >= 0")
         self.zk = zk if zk is not None else ZooKeeper()
         if not self.zk.exists("/hbase"):
             self.zk.create("/hbase")
@@ -58,8 +85,19 @@ class HMaster:
         self._starts: Dict[str, List[bytes]] = {}
         self._region_ids = itertools.count(1)
         self._assign_cursor = 0
+        self.metrics = metrics if metrics is not None else component_registry("master")
+        #: Simulator + detection delay model ZooKeeper session timeout:
+        #: with a simulator attached and a positive delay, recovery runs
+        #: that long after the crash (the window failover must bridge).
+        #: Without a simulator, recovery stays synchronous as before.
+        self.sim = sim
+        self.failure_detection_delay = failure_detection_delay
+        #: Region replication coordinator (see :meth:`enable_replication`).
+        self.replication: Optional["ReplicationCoordinator"] = None
+        self._crash_epoch: Dict[str, int] = {}
         self.recoveries = 0
         self.cells_lost_unsynced = 0
+        self.failovers = 0
         # Size-based auto-splitting (off by default: the paper split
         # manually; see enable_auto_split).
         self._auto_split_threshold: Optional[int] = None
@@ -119,6 +157,9 @@ class HMaster:
         self._starts[table] = [a.region.info.start_key for a in assignments]
         for assignment in assignments:
             self._assign(table, assignment)
+        if self.replication is not None:
+            for assignment in assignments:
+                self.replication.ensure_replicas(assignment.region, assignment.server)
 
     def table_regions(self, table: str) -> List[Tuple[RegionInfo, Optional[str]]]:
         """Region layout: ``[(info, server_name)]`` sorted by start key."""
@@ -157,6 +198,25 @@ class HMaster:
             out.append((info, assignment.server))
         return out
 
+    def locate_replicas(self, table: str, row: bytes) -> ReplicaLocation:
+        """Replica-aware :meth:`locate`: primary plus follower servers."""
+        info, server = self.locate(table, row)
+        return ReplicaLocation(info, server, self._follower_names(info.name))
+
+    def locate_range_replicas(
+        self, table: str, start: bytes, end: bytes
+    ) -> List[ReplicaLocation]:
+        """Replica-aware :meth:`locate_range` for scan fan-out."""
+        return [
+            ReplicaLocation(info, server, self._follower_names(info.name))
+            for info, server in self.locate_range(table, start, end)
+        ]
+
+    def _follower_names(self, region_name: str) -> Tuple[str, ...]:
+        if self.replication is None:
+            return ()
+        return self.replication.follower_servers(region_name)
+
     def direct_scan(self, table: str, start_row: bytes = b"", end_row: bytes = b"") -> List:
         """Administrative scan reading region data directly (no RPC timing).
 
@@ -170,6 +230,47 @@ class HMaster:
         cells.sort(key=lambda c: c.key)
         return cells
 
+    def direct_scan_consistent(
+        self,
+        table: str,
+        start_row: bytes = b"",
+        end_row: bytes = b"",
+        timeline: bool = False,
+    ) -> Tuple[List, float]:
+        """Availability-aware :meth:`direct_scan` with a consistency mode.
+
+        ``strong`` (the default) reads primary copies only and raises
+        :class:`RegionUnavailableError` if any region overlapping the
+        range has no live primary.  ``timeline=True`` falls back to the
+        most-caught-up live follower for such regions and returns the
+        worst staleness bound alongside the cells.  On a healthy
+        cluster both modes return exactly what :meth:`direct_scan`
+        returns for the same range, at staleness 0.
+        """
+        cells: List = []
+        staleness = 0.0
+        for assignment in self._assignments(table):
+            info = assignment.region.info
+            if end_row and info.start_key and info.start_key >= end_row:
+                continue
+            if info.end_key and info.end_key <= start_row:
+                continue
+            region = assignment.region
+            primary_down = (
+                assignment.server is None or self._servers[assignment.server].crashed
+            )
+            if primary_down:
+                fallback = None
+                if timeline and self.replication is not None:
+                    fallback = self.replication.best_follower(info.name)
+                if fallback is None:
+                    raise RegionUnavailableError(info.name)
+                region, follower_staleness = fallback
+                staleness = max(staleness, follower_staleness)
+            cells.extend(region.scan(start_row, end_row))
+        cells.sort(key=lambda c: c.key)
+        return cells, staleness
+
     # ------------------------------------------------------------------
     # assignment / balancing
     # ------------------------------------------------------------------
@@ -182,6 +283,8 @@ class HMaster:
         self._assign_cursor += 1
         assignment.server = name
         self._servers[name].open_region(assignment.region)
+        if self.replication is not None:
+            self.replication.primary_moved(assignment.region.info.name, name)
 
     def move_region(self, table: str, region_name: str, dest: str) -> None:
         """Relocate one region to ``dest`` (must be live)."""
@@ -197,6 +300,8 @@ class HMaster:
                     self._servers[assignment.server].close_region(region_name)
                 assignment.server = dest
                 self._servers[dest].open_region(assignment.region)
+                if self.replication is not None:
+                    self.replication.primary_moved(region_name, dest)
                 return
         raise KeyError(f"region {region_name!r} not in table {table!r}")
 
@@ -223,6 +328,10 @@ class HMaster:
             self._starts[table] = [a.region.info.start_key for a in assignments]
             self._assign(table, la)
             self._assign(table, ra)
+            if self.replication is not None:
+                self.replication.on_split(
+                    region_name, [(la.region, la.server), (ra.region, ra.server)]
+                )
             return left.info.name, right.info.name
         raise KeyError(f"region {region_name!r} not in table {table!r}")
 
@@ -291,14 +400,65 @@ class HMaster:
         return splits
 
     # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def enable_replication(self, coordinator: "ReplicationCoordinator") -> None:
+        """Attach a replication coordinator and replicate existing tables.
+
+        From here on the master keeps follower sets placed through
+        every assignment change (create/move/split/crash), promotes the
+        best follower on primary death, and serves timeline fallbacks
+        via :meth:`direct_scan_consistent`.
+        """
+        self.replication = coordinator
+        for assignments in self._tables.values():
+            for a in assignments:
+                coordinator.ensure_replicas(a.region, a.server)
+
+    # ------------------------------------------------------------------
     # crash recovery
     # ------------------------------------------------------------------
     def _handle_crash(self, server: RegionServer) -> None:
-        """WAL-based recovery: discard memstores, replay durable prefix, reassign."""
+        """Crash detected (or scheduled for detection) — see :meth:`_recover`.
+
+        With a simulator attached and ``failure_detection_delay > 0``,
+        recovery runs after the detection window (ZooKeeper session
+        timeout); the crash epoch guards against a crash/restart/crash
+        cycle racing a stale detection.
+        """
+        epoch = self._crash_epoch.get(server.name, 0) + 1
+        self._crash_epoch[server.name] = epoch
+        wal = server.wal  # restart replaces the WAL; recover from this one
+        if self.sim is not None and self.failure_detection_delay > 0:
+            self.sim.schedule(
+                self.failure_detection_delay, self._detect_crash, server, wal, epoch
+            )
+        else:
+            self._recover(server, wal)
+
+    def _detect_crash(self, server: RegionServer, wal, epoch: int) -> None:
+        if self._crash_epoch.get(server.name) != epoch:
+            return  # superseded by a newer crash cycle
+        self._recover(server, wal)
+
+    def _recover(self, server: RegionServer, wal) -> None:
+        """WAL-based recovery: promote followers (or discard-and-replay).
+
+        For each region whose primary lived on the dead server the
+        most-caught-up live follower is promoted to primary; the dead
+        server's durable WAL prefix is then replayed on top (grouped
+        per region through the block write path, idempotent by
+        newest-wins), so every WAL-synced cell survives even when the
+        promoted follower was lagging.  Without replication — or with
+        no live follower — recovery falls back to discard-and-replay
+        plus round-robin reassignment, exactly as before.
+        """
         self.recoveries += 1
-        session = self._sessions.get(server.name)
-        if session is not None:
-            session.expire()
+        self.metrics.counter("master.recoveries").inc(label=server.name)
+        if server.crashed:
+            session = self._sessions.get(server.name)
+            if session is not None:
+                session.expire()
         victims: List[_Assignment] = []
         for assignments in self._tables.values():
             for a in assignments:
@@ -308,15 +468,28 @@ class HMaster:
             a.region.discard_memstore()
             server.close_region(a.region.info.name)
             a.server = None
-        # Replay the durable WAL prefix; puts are idempotent (newest-wins).
-        replayed = 0
-        for cell in server.wal.replayable():
-            for a in victims:
+            if self.replication is not None and server.crashed:
+                promoted = self.replication.promote(a.region.info.name)
+                if promoted is not None:
+                    a.region, a.server = promoted
+                    self.failovers += 1
+                    self.metrics.counter("master.failovers").inc(label=server.name)
+        # Replay the durable WAL prefix grouped per region through the
+        # block write path; puts are idempotent (newest-wins), so the
+        # replay composes with whatever the promoted follower applied.
+        buckets: List[List[Cell]] = [[] for _ in victims]
+        for cell in wal.replayable():
+            for i, a in enumerate(victims):
                 if a.region.info.contains(cell.row):
-                    a.region.put(cell)
-                    replayed += 1
+                    buckets[i].append(cell)
                     break
-        self.cells_lost_unsynced += len(server.wal) - server.wal.durable_count
+        for a, cells in zip(victims, buckets):
+            if cells:
+                a.region.put_block(cells)
+        lost = len(wal) - wal.durable_count
+        self.cells_lost_unsynced += lost
+        if lost:
+            self.metrics.counter("master.cells_lost_unsynced").inc(lost, label=server.name)
         for a in victims:
             # Flush after recovery replay (as real HBase does): the
             # recovered edits become store files, so they no longer
@@ -324,7 +497,17 @@ class HMaster:
             # discard.  Without this, a second crash of whichever server
             # inherits the region would lose the recovered data.
             a.region.flush()
-            self._assign(a.region.info.table, a)
+            if a.server is None:
+                self._assign(a.region.info.table, a)
+        if self.replication is not None:
+            # Re-place followers lost with the dead server (bootstrapped
+            # from the post-replay primaries), then push the replayed
+            # cells to surviving followers, which never saw them via
+            # WAL shipping (the replay wrote into regions directly).
+            self.replication.handle_server_crash(server.name)
+            for a, cells in zip(victims, buckets):
+                if cells:
+                    self.replication.mirror(a.region.info.name, cells)
 
     def _handle_restart(self, server: RegionServer) -> None:
         """Re-admit a restarted server and give it work again."""

@@ -106,6 +106,13 @@ class ScanRequest:
     table: str
     start_row: bytes = b""
     end_row: bytes = b""
+    #: Targeted replica scan: name the region and the consistency mode.
+    #: ``strong`` is served by the primary copy only; ``timeline`` may
+    #: be served from a follower replica, with the reply carrying the
+    #: replica's staleness bound.  ``None`` keeps the legacy semantics
+    #: (scan every primary region this server hosts).
+    region_name: Optional[str] = None
+    consistency: str = "strong"
 
 
 @dataclass
@@ -117,6 +124,9 @@ class RpcReply:
     error: str = ""
     server: str = ""
     retryable: bool = False
+    #: Staleness bound (seconds) of the replica that served a timeline
+    #: read; 0.0 for primary-served results.
+    staleness: float = 0.0
 
     @staticmethod
     def success(result: object, server: str) -> "RpcReply":
@@ -152,6 +162,14 @@ class RegionServer:
         self.rpc_server = Server(sim, name, queue_capacity, self.metrics)
         node.add_server(self.rpc_server)
         self.regions: Dict[str, Region] = {}
+        # Read-only follower replicas hosted here, keyed by region name.
+        # Never written by client RPCs and invisible to legacy scans;
+        # only timeline reads targeting the region by name touch them.
+        self.follower_regions: Dict[str, object] = {}
+        # Post-WAL-sync replication hook: ``(region_name, cells, server)``
+        # per region touched by the synced batch (set by the deployment
+        # when region replication is enabled).
+        self.replication_ship: Optional[Callable[[str, List[Cell], str], None]] = None
         self.wal = WriteAheadLog(name)
         self.crash_policy = crash_policy_factory(self) if crash_policy_factory else None
         self.on_crash: Optional[Callable[["RegionServer"], None]] = None
@@ -169,6 +187,13 @@ class RegionServer:
 
     def close_region(self, region_name: str) -> Optional[Region]:
         return self.regions.pop(region_name, None)
+
+    def open_follower(self, replica: object) -> None:
+        """Host a read-only follower replica (timeline reads only)."""
+        self.follower_regions[replica.region.info.name] = replica  # type: ignore[attr-defined]
+
+    def close_follower(self, region_name: str) -> None:
+        self.follower_regions.pop(region_name, None)
 
     def hosted_regions(self) -> List[Region]:
         return list(self.regions.values())
@@ -280,6 +305,12 @@ class RegionServer:
         self.wal.sync()
         for region, cell in staged:
             region.put(cell)
+        if self.replication_ship is not None:
+            shipped: Dict[str, List[Cell]] = {}
+            for region, cell in staged:
+                shipped.setdefault(region.info.name, []).append(cell)
+            for region_name, cells in shipped.items():
+                self.replication_ship(region_name, cells, self.name)
         if len(self.wal) > self.wal_roll_threshold:
             # Log roll: flush hosted regions so the old log can be
             # archived, then truncate (HBase's roll-and-archive cycle).
@@ -319,6 +350,9 @@ class RegionServer:
         self.wal.sync()
         for target, cells in runs:
             target.put_block(cells)
+        if self.replication_ship is not None:
+            for target, cells in runs:
+                self.replication_ship(target.info.name, cells, self.name)
         if len(self.wal) > self.wal_roll_threshold:
             for hosted in self.regions.values():
                 hosted.flush()
@@ -335,11 +369,35 @@ class RegionServer:
         return RpcReply.success(region.get(request.row, request.qualifier), self.name)
 
     def _serve_scan(self, request: ScanRequest) -> RpcReply:
+        if request.region_name is not None:
+            return self._serve_targeted_scan(request)
         cells: List[Cell] = []
         for region in self.regions.values():
             cells.extend(region.scan(request.start_row, request.end_row))
         cells.sort(key=lambda c: c.key)
         return RpcReply.success(cells, self.name)
+
+    def _serve_targeted_scan(self, request: ScanRequest) -> RpcReply:
+        """Replica-aware scan of one named region.
+
+        A primary copy serves either consistency mode at staleness 0;
+        a follower copy serves *timeline* reads only, stamping its
+        staleness bound on the reply so the caller can surface it.
+        """
+        region = self.regions.get(request.region_name)
+        staleness = 0.0
+        if region is None:
+            replica = self.follower_regions.get(request.region_name)
+            if replica is None or request.consistency != "timeline":
+                return RpcReply.failure("NotServingRegionException", self.name, True)
+            region = replica.region  # type: ignore[attr-defined]
+            staleness = replica.staleness(self.sim.now)  # type: ignore[attr-defined]
+            self.metrics.counter("regionserver.follower_reads").inc(label=self.name)
+        cells = region.scan(request.start_row, request.end_row)
+        cells.sort(key=lambda c: c.key)
+        reply = RpcReply.success(cells, self.name)
+        reply.staleness = staleness
+        return reply
 
     def _reply(self, reply_to: Callable[[RpcReply], None], dst_host: str, reply: RpcReply) -> None:
         self.network.send(self.node.hostname, dst_host, reply_to, reply)
@@ -363,6 +421,7 @@ class RegionServer:
             return
         self.crashed = False
         self.regions.clear()
+        self.follower_regions.clear()
         self.wal = WriteAheadLog(self.name)
         self.rpc_server.start()
         if self.on_restart is not None:

@@ -62,6 +62,8 @@ DEFAULT_ROUTES: Dict[str, str] = {
     "publish": "publisher",
     "chaos": "chaos",
     "serve": "serve",  # the query-serving gateway (cache/admission)
+    "master": "master",  # region assignment, crash recovery, failovers
+    "replication": "replication",  # follower replicas and WAL shipping
 }
 
 #: Histogram quantiles exported as ``<name>.<suffix>`` self-metrics.

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from ..cluster.simulation import Simulator
+from ..hbase.master import RegionUnavailableError
 from ..obs.telemetry import component_registry
 from ..tsdb.aggregation import Series
 from ..tsdb.query import QueryEngine, TsdbQuery
@@ -94,6 +95,9 @@ class GatewayConfig:
     default_deadline: Optional[float] = 5.0
     rate_limit: Optional[float] = None  # tokens/second per client; None = off
     rate_burst: float = 10.0
+    #: Serve timeline (follower) reads with an advertised staleness
+    #: bound when a region's primary is down; False sheds instead.
+    allow_degraded: bool = True
     service_model: ServeServiceModel = field(default_factory=ServeServiceModel)
 
     def __post_init__(self) -> None:
@@ -114,6 +118,11 @@ class ServeResult:
     still matches, ``not_modified`` is True and ``series`` is None —
     the cheap unchanged-poll path.  ``latency`` is simulated seconds
     from issue to completion.
+
+    ``degraded`` marks a response assembled (at least partly) from
+    follower replicas because a primary was down; ``max_staleness``
+    then bounds how far behind the primary the data may be.  Degraded
+    responses are served but never cached.
     """
 
     status: str
@@ -122,6 +131,8 @@ class ServeResult:
     age: float
     latency: float
     not_modified: bool = False
+    degraded: bool = False
+    max_staleness: float = 0.0
 
     @property
     def served_from_cache(self) -> bool:
@@ -274,7 +285,7 @@ class QueryGateway:
         abs_deadline = now + rel_deadline if rel_deadline is not None else None
 
         def granted(ticket: Ticket) -> None:
-            self._start_execution(ticket, query, key, now, if_none_match, on_done)
+            self._start_execution(ticket, query, key, now, if_none_match, on_done, on_reject)
 
         def timed_out(ticket: Ticket) -> None:
             self._count_shed("deadline")
@@ -291,7 +302,7 @@ class QueryGateway:
             return
         self._sync_admission_gauges()
         if ticket.state == "granted":
-            self._start_execution(ticket, query, key, now, if_none_match, on_done)
+            self._start_execution(ticket, query, key, now, if_none_match, on_done, on_reject)
         elif abs_deadline is not None:
             # Strict comparison in expire_due: fire just past the deadline.
             self.sim.schedule(abs_deadline - now + 1e-9, self._expire_tick)
@@ -350,6 +361,29 @@ class QueryGateway:
     # ------------------------------------------------------------------
     # internals: execution
     # ------------------------------------------------------------------
+    def _run_engine(self, query: TsdbQuery) -> Tuple[List[Series], bool, float]:
+        """Execute through the engine, degrading to follower reads.
+
+        Returns ``(series, degraded, max_staleness)``.  Engines without
+        availability support (bare :class:`QueryEngine` stand-ins) run
+        strong-only.  Raises :class:`RegionUnavailableError` when no
+        replica can answer, or when the answer would be degraded and
+        config forbids serving it.
+        """
+        run_available = getattr(self.engine, "run_available", None)
+        if run_available is None:
+            return self.engine.run(query), False, 0.0
+        result = run_available(query)
+        degraded = result.mode != "strong"
+        if degraded:
+            if not self.config.allow_degraded:
+                raise RegionUnavailableError(
+                    "degraded (timeline) serving disabled by gateway policy"
+                )
+            self.metrics.counter("serve.degraded").inc()
+            self.metrics.gauge("serve.degraded_staleness").set(result.staleness)
+        return result.series, degraded, result.staleness
+
     def _execute_sync(
         self,
         query: TsdbQuery,
@@ -364,18 +398,24 @@ class QueryGateway:
         ticket = self.admission.admit(client_id, now)  # slot free: grants inline
         self._sync_admission_gauges()
         try:
-            series = self.engine.run(query)
+            series, degraded, staleness = self._run_engine(query)
+        except RegionUnavailableError as exc:
+            self._count_shed("unavailable")
+            raise QueryRejected("unavailable", 1.0, str(exc)) from exc
         finally:
             self.admission.release(now, started_at=ticket.granted_at)
             self._sync_admission_gauges()
-        if key is not None:
+        if key is not None and not degraded:
             etag = self.cache.put(key, series, now)
         else:
             etag = result_etag(series)
         self.metrics.counter("serve.misses").inc()
         self._latency.observe(0.0)
         nm = if_none_match is not None and if_none_match == etag
-        return ServeResult("miss", None if nm else series, etag, 0.0, 0.0, not_modified=nm)
+        return ServeResult(
+            "miss", None if nm else series, etag, 0.0, 0.0,
+            not_modified=nm, degraded=degraded, max_staleness=staleness,
+        )
 
     def _start_execution(
         self,
@@ -385,16 +425,24 @@ class QueryGateway:
         issued_at: float,
         if_none_match: Optional[str],
         on_done: Callable[[ServeResult], None],
+        on_reject: Optional[Callable[[QueryRejected], None]] = None,
     ) -> None:
         self._sync_admission_gauges()
         # The result is a snapshot at grant time; the epoch guard keeps
         # it out of the cache if a write lands before completion.
-        series = self.engine.run(query)
+        try:
+            series, degraded, staleness = self._run_engine(query)
+        except RegionUnavailableError as exc:
+            self.admission.release(self.sim.now, started_at=ticket.granted_at)
+            self._sync_admission_gauges()
+            self._count_shed("unavailable")
+            self._deliver_reject(QueryRejected("unavailable", 1.0, str(exc)), on_reject)
+            return
         epoch = self._write_epoch
         cost = self._execution_cost(query, series)
         self.sim.schedule(
             cost, self._finish_execution, ticket, series, epoch, key, issued_at,
-            if_none_match, on_done,
+            if_none_match, on_done, degraded, staleness,
         )
 
     def _finish_execution(
@@ -406,11 +454,13 @@ class QueryGateway:
         issued_at: float,
         if_none_match: Optional[str],
         on_done: Callable[[ServeResult], None],
+        degraded: bool = False,
+        staleness: float = 0.0,
     ) -> None:
         now = self.sim.now
         self.admission.release(now, started_at=ticket.granted_at)
         self._sync_admission_gauges()
-        if key is not None and epoch == self._write_epoch:
+        if key is not None and epoch == self._write_epoch and not degraded:
             etag = self.cache.put(key, series, now)
         else:
             etag = result_etag(series)
@@ -420,7 +470,10 @@ class QueryGateway:
         nm = if_none_match is not None and if_none_match == etag
         if nm:
             self.metrics.counter("serve.not_modified").inc()
-        on_done(ServeResult("miss", None if nm else series, etag, 0.0, latency, not_modified=nm))
+        on_done(ServeResult(
+            "miss", None if nm else series, etag, 0.0, latency,
+            not_modified=nm, degraded=degraded, max_staleness=staleness,
+        ))
 
     def _execution_cost(self, query: TsdbQuery, series: List[Series]) -> float:
         try:
@@ -442,7 +495,17 @@ class QueryGateway:
             return  # a refresh is already in flight
 
         def granted(ticket: Ticket) -> None:
-            series = self.engine.run(query)
+            try:
+                series, degraded, _ = self._run_engine(query)
+            except RegionUnavailableError:
+                series, degraded = [], True
+            if degraded:
+                # Never freshen the cache from a follower snapshot; the
+                # stale entry stays and a later probe retries.
+                self.admission.release(self.sim.now, started_at=ticket.granted_at)
+                self._sync_admission_gauges()
+                self.cache.abort_refresh(key)
+                return
             epoch = self._write_epoch
             cost = self._execution_cost(query, series)
             self.sim.schedule(cost, self._finish_refresh, ticket, key, series, epoch)

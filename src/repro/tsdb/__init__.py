@@ -33,7 +33,7 @@ from .ingest import (
 )
 from .proxy import DirectSubmitter, ReverseProxy
 from .publish import BatchPublisher, PublishReport
-from .query import QueryEngine, TsdbQuery, group_and_aggregate
+from .query import ConsistentResult, QueryEngine, TsdbQuery, group_and_aggregate
 from .readpath import AsyncQueryExecutor, AsyncQueryResult
 from .rowkey import ROW_SPAN_SECONDS, DecodedKey, RowKeyCodec
 from .tsd import DATA_TABLE, DataPoint, PutAck, TSDaemon, TSDServiceModel
@@ -47,6 +47,7 @@ __all__ = [
     "BlockBatch",
     "COMPACTED_MARKER",
     "ClusterConfig",
+    "ConsistentResult",
     "DATA_TABLE",
     "DataPoint",
     "DecodedKey",

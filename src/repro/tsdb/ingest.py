@@ -21,6 +21,7 @@ from ..cluster.node import Node
 from ..cluster.simulation import Simulator
 from ..hbase.master import HMaster
 from ..hbase.regionserver import RegionServer, ServiceModel
+from ..hbase.replication import ReplicationCoordinator
 from ..hbase.zookeeper import ZooKeeper
 from ..obs.telemetry import Telemetry
 from ..obs.trace import Tracer
@@ -63,6 +64,8 @@ class ClusterConfig:
     crash_restart_delay: float = 5.0
     direct_spray: bool = True  # fire-and-forget mode: round-robin vs single TSD
     trace: bool = False  # span tracing across proxy -> TSD -> RegionServer
+    replication_factor: int = 1  # 1 = primary only; N>=2 adds N-1 follower replicas
+    failure_detection_delay: float = 0.0  # master's crash-detection lag (sim-seconds)
     service_model: ServiceModel = field(default_factory=ServiceModel)
     tsd_service_model: TSDServiceModel = field(default_factory=TSDServiceModel)
 
@@ -99,6 +102,10 @@ class TsdbCluster:
     def __init__(self, config: ClusterConfig) -> None:
         if config.n_nodes < 1:
             raise ValueError("need at least one node")
+        if config.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if config.failure_detection_delay < 0:
+            raise ValueError("failure_detection_delay must be non-negative")
         self.config = config
         self.sim = Simulator()
         # One telemetry tree set per deployment: every component records
@@ -112,7 +119,12 @@ class TsdbCluster:
         self.tracer = Tracer(enabled=config.trace, clock=lambda: self.sim.now)
         self.network = Network(self.sim, LatencyModel())
         self.zk = ZooKeeper()
-        self.master = HMaster(self.zk)
+        self.master = HMaster(
+            self.zk,
+            metrics=self.telemetry.registry("master"),
+            sim=self.sim,
+            failure_detection_delay=config.failure_detection_delay,
+        )
         self.uids = UniqueIdRegistry()
         self.codec = RowKeyCodec(config.resolved_salt_buckets())
         # Logical write clock shared by every writer (TSDs, bulk loads,
@@ -167,6 +179,21 @@ class TsdbCluster:
         self.master.create_table(
             DATA_TABLE, self.codec.split_keys(), retain_data=config.retain_data
         )
+        #: Region replication (None when replication_factor == 1): each
+        #: region gets ``rf - 1`` follower replicas on distinct servers,
+        #: fed asynchronously from the primary's WAL-synced writes.
+        self.replication: Optional[ReplicationCoordinator] = None
+        if config.replication_factor > 1:
+            self.replication = ReplicationCoordinator(
+                self.sim,
+                self.network,
+                self.master,
+                n_followers=config.replication_factor - 1,
+                metrics=self.telemetry.registry("replication"),
+            )
+            self.master.enable_replication(self.replication)
+            for rs in self.servers:
+                rs.replication_ship = self.replication.ship
         for i, node in enumerate(self.nodes):
             tsd = TSDaemon(
                 self.sim,
@@ -289,7 +316,9 @@ class TsdbCluster:
         from ..hbase.client import HTableClient
         from .readpath import AsyncQueryExecutor
 
-        client = HTableClient(self.sim, self.network, self.master, host)
+        client = HTableClient(
+            self.sim, self.network, self.master, host, rpc_timeout=2.0
+        )
         return AsyncQueryExecutor(self.sim, client, self.uids, self.codec)
 
     def direct_put(self, points) -> int:
@@ -310,6 +339,7 @@ class TsdbCluster:
         tsd = self.tsds[0]
         written = 0
         notify: List[DataPoint] = []
+        mirrored: Dict[str, List] = {}
         for point in points:
             cell = tsd.encode_point(point)
             _, server_name = self.master.locate(DATA_TABLE, cell.row)
@@ -321,7 +351,14 @@ class TsdbCluster:
                     region.put(cell)
                     written += 1
                     notify.append(point)
+                    if self.replication is not None:
+                        mirrored.setdefault(region.info.name, []).append(cell)
                     break
+        if self.replication is not None:
+            # Bulk loads bypass the RegionServer RPC path (and hence the
+            # WAL-shipping hook), so followers are synced explicitly.
+            for name, cells in mirrored.items():
+                self.replication.mirror(name, cells)
         if self._write_listeners and notify:
             # Bulk loads land synchronously, so one notification suffices.
             self._notify_writes(notify)
@@ -343,6 +380,8 @@ class TsdbCluster:
                         if region is not None and run:
                             region.put_block(run)
                             written += len(run)
+                            if self.replication is not None:
+                                self.replication.mirror(region.info.name, run)
                         run = []
                         region = self._region_hosting(cell.row)
                 if region is not None:
@@ -350,6 +389,8 @@ class TsdbCluster:
             if region is not None and run:
                 region.put_block(run)
                 written += len(run)
+                if self.replication is not None:
+                    self.replication.mirror(region.info.name, run)
         if self._write_listeners and len(batch):
             self._notify_writes(batch)
         return written

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..hbase.bytescodec import decode_f64, decode_u32
-from ..hbase.master import HMaster
+from ..hbase.master import HMaster, RegionUnavailableError
 from ..hbase.region import Cell
 from .aggregation import AGGREGATORS, Series, aggregate, downsample, rate
 from .blocks import TS_TYPECODE, VAL_TYPECODE, SeriesBlock
@@ -32,7 +32,7 @@ from .rowkey import _UID_WIDTH, RowKeyCodec
 from .tsd import DATA_TABLE
 from .uid import UniqueIdRegistry, UnknownUidError
 
-__all__ = ["TsdbQuery", "QueryEngine", "group_and_aggregate"]
+__all__ = ["ConsistentResult", "TsdbQuery", "QueryEngine", "group_and_aggregate"]
 
 WILDCARD = "*"
 
@@ -301,6 +301,20 @@ class TsdbQuery:
             )
 
 
+@dataclass
+class ConsistentResult:
+    """A query answer annotated with the consistency it was served at.
+
+    ``mode`` is ``"strong"`` when every region's share came from a live
+    primary, else ``"timeline"``; ``staleness`` is the worst follower
+    staleness bound that contributed (0.0 in strong mode).
+    """
+
+    series: List[Series]
+    mode: str
+    staleness: float = 0.0
+
+
 class QueryEngine:
     """Executes :class:`TsdbQuery` objects against a simulated deployment."""
 
@@ -322,6 +336,27 @@ class QueryEngine:
     def run(self, query: TsdbQuery) -> List[Series]:
         """Execute a query; returns one Series per group (sorted by tags)."""
         return group_and_aggregate(query, self._read_series(query))
+
+    def run_available(self, query: TsdbQuery) -> ConsistentResult:
+        """Execute preferring strong reads, degrading to timeline.
+
+        Strong mode reads primary region copies only; when a primary is
+        down (crash window before failover completes) and the cluster
+        has region replication, the query is re-served in timeline mode
+        from the most-caught-up live followers, with the staleness
+        bound reported in the result.  Raises
+        :class:`RegionUnavailableError` when some region has *no*
+        readable copy.  On a healthy cluster the series are exactly
+        :meth:`run`'s (strong mode, staleness 0).
+        """
+        try:
+            raw, _ = self._read_series_consistent(query, timeline=False)
+            return ConsistentResult(group_and_aggregate(query, raw), "strong")
+        except RegionUnavailableError:
+            raw, staleness = self._read_series_consistent(query, timeline=True)
+            return ConsistentResult(
+                group_and_aggregate(query, raw), "timeline", staleness
+            )
 
     def series_for(self, query: TsdbQuery) -> List[Series]:
         """Raw matching series with no grouping/aggregation (drill-down view)."""
@@ -348,6 +383,24 @@ class QueryEngine:
         for lo, hi in self.codec.scan_ranges(metric_uid, query.start, query.end):
             state.ingest_scan(self.master.direct_scan(self.table, lo, hi), query)
         return state.to_series()
+
+    def _read_series_consistent(
+        self, query: TsdbQuery, timeline: bool
+    ) -> Tuple[List[Series], float]:
+        """Columnar assembly over the availability-aware master scan."""
+        try:
+            metric_uid = self.uids.get("metric", query.metric)
+        except UnknownUidError:
+            return [], 0.0
+        state = _BlockScanState(self.codec, self.uids)
+        staleness = 0.0
+        for lo, hi in self.codec.scan_ranges(metric_uid, query.start, query.end):
+            cells, range_staleness = self.master.direct_scan_consistent(
+                self.table, lo, hi, timeline=timeline
+            )
+            staleness = max(staleness, range_staleness)
+            state.ingest_scan(cells, query)
+        return state.to_series(), staleness
 
     def _read_series_pointwise(self, query: TsdbQuery) -> List[Series]:
         """Per-cell reference path (one dict op per cell)."""

@@ -15,10 +15,10 @@ suite); only the timing differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from ..cluster.simulation import Simulator
-from ..hbase.client import HTableClient
+from ..hbase.client import _DEFAULT_DEADLINE, HTableClient, ScanResult
 from ..hbase.region import Cell
 from .aggregation import Series
 from .query import TsdbQuery, group_and_aggregate
@@ -31,12 +31,23 @@ __all__ = ["AsyncQueryResult", "AsyncQueryExecutor"]
 
 @dataclass
 class AsyncQueryResult:
-    """Outcome of one RPC-path query."""
+    """Outcome of one RPC-path query.
+
+    ``complete`` is False when at least one salt-bucket scan failed
+    within its retry/deadline budget (the series are then partial).
+    ``staleness`` is the worst follower staleness bound that
+    contributed to a timeline read; 0.0 for primary-only results.
+    """
 
     series: List[Series]
     started_at: float
     finished_at: float
     scans_issued: int
+    complete: bool = True
+    staleness: float = 0.0
+    retries: int = 0
+    hedges: int = 0
+    follower_reads: int = 0
 
     @property
     def latency(self) -> float:
@@ -71,8 +82,18 @@ class AsyncQueryExecutor:
         self,
         query: TsdbQuery,
         on_done: Callable[[AsyncQueryResult], None],
+        consistency: str = "strong",
+        deadline: object = _DEFAULT_DEADLINE,
+        hedge_delay: Optional[float] = None,
     ) -> None:
-        """Run the query; ``on_done`` fires when all scans resolve."""
+        """Run the query; ``on_done`` fires when all scans resolve.
+
+        ``consistency``, ``deadline`` and ``hedge_delay`` pass through
+        to :meth:`HTableClient.scan_replicated` per salt-bucket range;
+        the merged result reports completeness and the worst staleness
+        bound, so callers can distinguish a fresh-but-partial answer
+        from a complete-but-stale one.
+        """
         started = self.sim.now
         try:
             metric_uid = self.uids.get("metric", query.metric)
@@ -80,25 +101,45 @@ class AsyncQueryExecutor:
             on_done(AsyncQueryResult([], started, self.sim.now, 0))
             return
         ranges = self.codec.scan_ranges(metric_uid, query.start, query.end)
-        collected: List[List[Cell]] = []
+        collected: List[ScanResult] = []
         remaining = [len(ranges)]
 
-        def handle(cells: List[Cell]) -> None:
-            collected.append(cells)
+        def handle(result: ScanResult) -> None:
+            collected.append(result)
             remaining[0] -= 1
             if remaining[0] == 0:
-                series = self._assemble(query, collected)
+                series = self._assemble(query, [r.cells for r in collected])
                 on_done(
-                    AsyncQueryResult(series, started, self.sim.now, len(ranges))
+                    AsyncQueryResult(
+                        series,
+                        started,
+                        self.sim.now,
+                        len(ranges),
+                        complete=all(r.ok for r in collected),
+                        staleness=max((r.staleness for r in collected), default=0.0),
+                        retries=sum(r.retries for r in collected),
+                        hedges=sum(r.hedges for r in collected),
+                        follower_reads=sum(r.follower_reads for r in collected),
+                    )
                 )
 
         for lo, hi in ranges:
-            self.client.scan(self.table, lo, hi, handle)
+            self.client.scan_replicated(
+                self.table, lo, hi, handle,
+                consistency=consistency, deadline=deadline, hedge_delay=hedge_delay,
+            )
 
-    def execute_sync(self, query: TsdbQuery) -> AsyncQueryResult:
+    def execute_sync(
+        self,
+        query: TsdbQuery,
+        consistency: str = "strong",
+        deadline: object = _DEFAULT_DEADLINE,
+        hedge_delay: Optional[float] = None,
+    ) -> AsyncQueryResult:
         """Convenience: run the simulator until the query resolves."""
         box: List[AsyncQueryResult] = []
-        self.execute(query, box.append)
+        self.execute(query, box.append, consistency=consistency,
+                     deadline=deadline, hedge_delay=hedge_delay)
         self.sim.run()
         if not box:  # pragma: no cover - defensive
             raise RuntimeError("query did not resolve")

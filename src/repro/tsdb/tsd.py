@@ -163,7 +163,9 @@ class TSDaemon:
             counter = itertools.count(1)
             write_ts = lambda: float(next(counter))  # noqa: E731 - tiny local clock
         self._next_write_ts = write_ts
-        self.client = HTableClient(sim, network, master, node.hostname, metrics=self.metrics)
+        self.client = HTableClient(
+            sim, network, master, node.hostname, metrics=self.metrics, rpc_timeout=2.0
+        )
         # Per-salt-bucket write buffers: bucket -> [(cell, batch context)]
         self._buffers: Dict[int, List[Tuple[Cell, _BatchContext]]] = {}
         # Per-bucket linger timers (armed when the first cell arrives).

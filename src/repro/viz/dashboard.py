@@ -45,6 +45,8 @@ _SELF_METRIC_PREFIXES = (
     "publish.",
     "chaos.",
     "serve.",
+    "master.",
+    "replication.",
     # Server-level load metrics land in the unrouted "cluster" tree but
     # are written back by SelfReporter like every other namespace; the
     # platform panel silently dropped them until telemetry-drift

@@ -84,6 +84,7 @@ class TestBuiltinRegistry:
             "e13",
             "e14",
             "e15",
+            "e16",
         }
 
 

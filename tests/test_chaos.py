@@ -286,3 +286,143 @@ class TestPipelineUnderChaos:
         # The data channel carried real volume through the faults.
         assert result.data_publish.points_submitted == 3 * 120 * 6
         assert result.data_publish.points_written > 0
+
+
+class TestRecoveryDerivation:
+    """Every bounded outage action must auto-derive its recovery —
+    a fault that silently never heals is a plan bug, not a scenario."""
+
+    def test_every_outage_action_has_a_derived_recovery(self):
+        from repro.chaos.plan import RECOVERY_ACTIONS
+
+        for action, recovery_action in RECOVERY_ACTIONS.items():
+            event = FaultEvent(
+                at=1.0, action=action, target="x", duration=0.5,
+                factor=4.0, points=10,
+            )
+            recovery = event.recovery
+            assert recovery is not None, action
+            assert recovery.action == recovery_action
+            assert recovery.target == "x"
+            assert recovery.at == pytest.approx(1.5)
+
+    def test_replication_faults_are_in_the_mapping(self):
+        from repro.chaos.plan import RECOVERY_ACTIONS
+
+        assert RECOVERY_ACTIONS["wal_lag"] == "wal_lag_clear"
+        assert RECOVERY_ACTIONS["replica_stall"] == "replica_resume"
+
+    def test_wal_lag_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="wal_lag", target="rs00", factor=0.5)
+
+
+class TestReplicationFaultInjection:
+    def replicated(self):
+        return small_cluster(
+            n_nodes=3,
+            replication_factor=2,
+            failure_detection_delay=1.0,
+        )
+
+    def publish(self, cluster, n, t0=0):
+        from repro.tsdb.publish import BatchPublisher
+
+        publisher = BatchPublisher(cluster, batch_size=50)
+        publisher.publish(points(n, t0))
+        report = publisher.flush()
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        return report
+
+    def test_replication_faults_need_a_replicated_cluster(self):
+        cluster = small_cluster()  # replication_factor=1
+        for action in ("wal_lag", "replica_stall"):
+            plan = FaultPlan(events=(
+                FaultEvent(at=0.1, action=action, target="rs00",
+                           duration=0.2, factor=20.0),
+            ))
+            with pytest.raises(ValueError):
+                Injector(cluster, plan).arm()
+
+    def test_wal_lag_fires_degraded_not_down(self):
+        cluster = self.replicated()
+        injector = Injector(cluster, FaultPlan(events=(
+            FaultEvent(at=0.01, action="wal_lag", target="rs00",
+                       duration=0.3, factor=20.0),
+        )))
+        injector.arm()
+        self.publish(cluster, 100)
+        chaos = injector.finalize()
+        assert chaos.events_fired("wal_lag") == 1
+        assert chaos.events_fired("wal_lag_clear") == 1
+        assert chaos.downtime("rs00") == 0.0  # degraded, never down
+        wal_lag_events = cluster.telemetry.tree("replication").counters[
+            "replication.wal_lag_events"
+        ]
+        assert wal_lag_events.get() == 1.0
+        assert cluster.replication.max_staleness() == 0.0  # drained
+
+    def test_replica_stall_degrades_then_resumes(self):
+        cluster = self.replicated()
+        injector = Injector(cluster, FaultPlan(events=(
+            FaultEvent(at=0.01, action="replica_stall", target="rs01",
+                       duration=0.4),
+        )))
+        injector.arm()
+        report = self.publish(cluster, 100)
+        chaos = injector.finalize()
+        assert report.points_written == 100
+        assert chaos.events_fired("replica_stall") == 1
+        assert chaos.events_fired("replica_resume") == 1
+        assert chaos.downtime("rs01") == 0.0
+        assert cluster.replication.max_staleness() == 0.0
+
+
+class TestPipelineReadUnderCrash:
+    """End-to-end: the pipeline publishes through a RegionServer crash
+    on a replicated cluster — conservation holds and the data stays
+    readable (strong) once the master has failed over."""
+
+    def test_pipeline_conserves_and_reads_recover(self):
+        from repro.tsdb.query import TsdbQuery
+
+        generator = FleetGenerator(FleetConfig(n_units=3, n_sensors=6, seed=11))
+        cluster = small_cluster(
+            n_nodes=3,
+            replication_factor=2,
+            failure_detection_delay=0.4,
+        )
+        injector = Injector(cluster, FaultPlan(
+            name="rs-crash-replicated",
+            events=(
+                FaultEvent(at=0.05, action="rs_crash", target="rs00",
+                           duration=0.6),
+            ),
+        ))
+        injector.arm()
+
+        pipeline = AnomalyPipeline(
+            generator,
+            cluster=cluster,
+            pipeline_config=PipelineConfig(
+                n_train=80, n_eval=120, publish_batch_size=100,
+                max_in_flight_batches=8, parallelism=1,
+            ),
+        )
+        result = pipeline.run()
+        chaos = injector.finalize()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+
+        assert chaos.events_fired("rs_crash") == 1
+        for rep in (result.data_publish, result.anomaly_publish):
+            assert rep is not None
+            assert rep.conservation_ok
+            rep.check_conservation()
+        assert result.data_publish.points_written > 0
+
+        # after failover the engine serves strong reads again
+        available = cluster.query_engine().run_available(
+            TsdbQuery("energy", 0, 10_000, aggregator="sum")
+        )
+        assert available.mode == "strong"
+        assert cluster.master.cells_lost_unsynced == 0

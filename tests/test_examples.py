@@ -77,6 +77,14 @@ class TestExamples:
         assert "status=stale" in out and "still answering" in out
         assert "after restart: status=miss" in out
 
+    def test_replicated_reads_demo(self, capsys):
+        run_example("replicated_reads_demo.py")
+        out = capsys.readouterr().out
+        assert "mode=strong staleness=0.000 points=600" in out
+        assert "timeline probe: complete=True points=600" in out
+        assert "degraded=True" in out
+        assert "synced cells lost=0" in out
+
     # fleet_dashboard.py and ingestion_scaling.py run multi-minute
     # simulations; they are exercised by benchmarks/bench_dashboard.py
     # and the E1/E6/E7 benches respectively rather than here.

@@ -83,3 +83,85 @@ class TestAsyncQueryExecutor:
         loaded.sim.run()
         assert len(results) == 2
         assert all(r.series for r in results)
+
+
+def replicated_cluster(replication_factor):
+    cluster = build_cluster(
+        n_nodes=3,
+        salt_buckets=6,
+        retain_data=True,
+        replication_factor=replication_factor,
+        failure_detection_delay=1.0,
+    )
+    cluster.direct_put(
+        [
+            DataPoint.make("energy", t, float(t % 7), {"unit": f"u{t % 5}"})
+            for t in range(120)
+        ]
+    )
+    return cluster
+
+
+class TestReadDuringCrash:
+    """Characterizes the read path inside an *undetected* crash window.
+
+    The first test pins the legacy behaviour (strong reads against a
+    crashed, unreplicated primary burn their whole retry budget and
+    come back incomplete); the others assert the failover semantics
+    that replaced it as the recommended path.
+    """
+
+    def test_unreplicated_strong_read_fails_inside_window(self):
+        from repro.hbase.client import HTableClient
+        from repro.tsdb.readpath import AsyncQueryExecutor
+
+        cluster = replicated_cluster(replication_factor=1)
+        cluster.servers[0].crash()
+        client = HTableClient(
+            cluster.sim, cluster.network, cluster.master, "probe",
+            max_retries=3, backoff_base=0.02, rpc_timeout=2.0,
+        )
+        executor = AsyncQueryExecutor(
+            cluster.sim, client, cluster.uids, cluster.codec
+        )
+        results = []
+        executor.execute(
+            TsdbQuery("energy", 0, 200, aggregator="sum"),
+            results.append,
+            deadline=0.05,
+        )
+        cluster.sim.run(until=cluster.sim.now + 0.9)  # detector at 1.0s
+        (result,) = results
+        assert not result.complete
+        assert result.retries > 0
+        assert sum(len(s.points) for s in result.series) < 120
+
+    def test_timeline_read_fails_over_inside_window(self):
+        cluster = replicated_cluster(replication_factor=2)
+        cluster.servers[0].crash()
+        executor = cluster.async_query_executor()
+        results = []
+        executor.execute(
+            TsdbQuery("energy", 0, 200, aggregator="sum"),
+            results.append,
+            consistency="timeline",
+            deadline=0.05,
+            hedge_delay=0.02,
+        )
+        cluster.sim.run(until=cluster.sim.now + 0.9)
+        (result,) = results
+        assert result.complete
+        assert result.follower_reads > 0
+        assert result.staleness <= 1.0
+        assert sum(len(s.points) for s in result.series) == 120
+
+    def test_strong_reads_heal_after_detection(self):
+        cluster = replicated_cluster(replication_factor=2)
+        cluster.servers[0].crash()
+        cluster.sim.run(until=cluster.sim.now + 2.0)  # past the detector
+        result = cluster.async_query_executor().execute_sync(
+            TsdbQuery("energy", 0, 200, aggregator="sum")
+        )
+        assert result.complete
+        assert result.staleness == 0.0
+        assert sum(len(s.points) for s in result.series) == 120

@@ -1,0 +1,205 @@
+"""Region replicas: placement, WAL shipping, promotion, crash replay.
+
+Covers the :class:`~repro.hbase.replication.ReplicationCoordinator`
+(follower placement on distinct servers, the bounded-lag apply loop,
+stall/lag fault hooks, most-caught-up promotion) and the master's
+WAL-replay recovery accounting (``master.recoveries``,
+``master.cells_lost_unsynced``).
+"""
+
+import pytest
+
+from repro.tsdb.ingest import ClusterConfig, build_cluster
+from repro.tsdb.publish import BatchPublisher
+from repro.tsdb.query import TsdbQuery
+from repro.tsdb.tsd import DataPoint
+
+
+def make_cluster(replication_factor=2, n_nodes=3, detection_delay=0.5):
+    return build_cluster(ClusterConfig(
+        n_nodes=n_nodes,
+        salt_buckets=4,
+        retain_data=True,
+        crash_on_overflow=False,
+        replication_factor=replication_factor,
+        failure_detection_delay=detection_delay,
+    ))
+
+
+def publish(cluster, n_points, t0=1_000):
+    points = [
+        DataPoint.make("energy", t0 + i, float(i % 13), {"unit": f"u{i % 5}"})
+        for i in range(n_points)
+    ]
+    publisher = BatchPublisher(
+        cluster, batch_size=50, max_in_flight_batches=4, ack_deadline=30.0
+    )
+    publisher.publish(points)
+    report = publisher.flush()
+    assert report.points_written == n_points
+    # let the asynchronous shipping loops drain
+    cluster.sim.run(until=cluster.sim.now + 1.0)
+    return points
+
+
+def total_points(cluster, n_points, t0=1_000):
+    series = cluster.query_engine().run(
+        TsdbQuery("energy", 0, t0 + n_points + 1, aggregator="sum")
+    )
+    return sum(len(s.points) for s in series)
+
+
+class TestPlacement:
+    def test_every_region_gets_followers_on_distinct_servers(self):
+        cluster = make_cluster()
+        publish(cluster, 100)
+        regions = cluster.master.table_regions("tsdb")
+        assert regions
+        for info, server in regions:
+            followers = cluster.replication.follower_servers(info.name)
+            assert len(followers) == 1
+            assert server not in followers
+
+    def test_replication_factor_three_uses_all_spare_servers(self):
+        cluster = make_cluster(replication_factor=3)
+        publish(cluster, 100)
+        for info, server in cluster.master.table_regions("tsdb"):
+            followers = cluster.replication.follower_servers(info.name)
+            assert len(followers) == 2
+            assert server not in followers
+            assert len(set(followers)) == 2
+
+    def test_unreplicated_cluster_has_no_coordinator(self):
+        cluster = make_cluster(replication_factor=1)
+        assert cluster.replication is None
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster(replication_factor=0)
+        with pytest.raises(ValueError):
+            build_cluster(ClusterConfig(n_nodes=2, failure_detection_delay=-1.0))
+
+
+class TestWalShipping:
+    def test_followers_catch_up_and_staleness_drops_to_zero(self):
+        cluster = make_cluster()
+        publish(cluster, 200)
+        stats = cluster.replication.stats()
+        assert stats["pending_cells"] == 0
+        assert cluster.replication.max_staleness() == 0.0
+
+    def test_stalled_followers_accumulate_bounded_lag(self):
+        cluster = make_cluster()
+        publish(cluster, 100)
+        victim = cluster.servers[1].name
+        cluster.replication.stall_followers(victim)
+        publish(cluster, 100, t0=5_000)
+        assert cluster.replication.max_staleness() > 0.0
+        cluster.replication.resume_followers(victim)
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        assert cluster.replication.max_staleness() == 0.0
+
+    def test_ship_lag_counts_events_and_clears(self):
+        cluster = make_cluster()
+        publish(cluster, 50)
+        victim = cluster.servers[0].name
+        cluster.replication.set_ship_lag(victim, 25.0)
+        counter = cluster.telemetry.tree("replication").counters[
+            "replication.wal_lag_events"
+        ]
+        assert counter.get() == 1.0
+        publish(cluster, 50, t0=5_000)
+        cluster.replication.clear_ship_lag(victim)
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        assert cluster.replication.max_staleness() == 0.0
+
+    def test_ship_lag_factor_floored_at_one(self):
+        cluster = make_cluster()
+        cluster.replication.set_ship_lag(cluster.servers[0].name, 0.1)
+        assert cluster.replication._ship_lag[cluster.servers[0].name] == 1.0
+
+
+class TestPromotion:
+    def test_crash_promotes_followers_without_synced_loss(self):
+        cluster = make_cluster()
+        publish(cluster, 300)
+        victim = cluster.servers[0]
+        had_primaries = sum(
+            1 for _, server in cluster.master.table_regions("tsdb")
+            if server == victim.name
+        )
+        assert had_primaries > 0
+        victim.crash()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        assert cluster.master.failovers >= had_primaries
+        assert cluster.master.cells_lost_unsynced == 0
+        assert cluster.replication.promotions == cluster.master.failovers
+        # no region is left assigned to the dead server
+        for _, server in cluster.master.table_regions("tsdb"):
+            assert server != victim.name
+        assert total_points(cluster, 300) == 300
+
+    def test_promotion_prefers_most_caught_up_follower(self):
+        # rf=3: each region has followers on both other servers.  Stall
+        # one follower server mid-stream; promotion after the primary
+        # crash must pick the caught-up one.
+        cluster = make_cluster(replication_factor=3)
+        publish(cluster, 100)
+        stalled = cluster.servers[2].name
+        cluster.replication.stall_followers(stalled)
+        publish(cluster, 200, t0=5_000)
+        victim = cluster.servers[0]
+        victim_regions = [
+            info.name
+            for info, server in cluster.master.table_regions("tsdb")
+            if server == victim.name
+        ]
+        assert victim_regions
+        victim.crash()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        owners = {
+            info.name: server
+            for info, server in cluster.master.table_regions("tsdb")
+        }
+        for name in victim_regions:
+            assert owners[name] != stalled
+
+    def test_strong_reads_recover_after_promotion(self):
+        cluster = make_cluster()
+        publish(cluster, 200)
+        cluster.servers[1].crash()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        result = cluster.query_engine().run_available(
+            TsdbQuery("energy", 0, 10_000, aggregator="sum")
+        )
+        assert result.mode == "strong"
+        assert sum(len(s.points) for s in result.series) == 200
+
+
+class TestMasterRecoveryAccounting:
+    """Satellite regression: crash replay lands via ``put_block`` and
+    the recovery counters flow through the shared Telemetry."""
+
+    def test_unreplicated_crash_replays_wal_via_telemetry_counters(self):
+        cluster = make_cluster(replication_factor=1)
+        publish(cluster, 250)
+        cluster.servers[0].crash()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        counters = cluster.telemetry.tree("master").counters
+        assert counters["master.recoveries"].get() >= 1.0
+        # every cell was WAL-synced before the crash: nothing lost
+        assert "master.cells_lost_unsynced" not in counters or (
+            counters["master.cells_lost_unsynced"].get() == 0.0
+        )
+        assert cluster.master.cells_lost_unsynced == 0
+        assert total_points(cluster, 250) == 250
+
+    def test_replicated_crash_counts_recovery_and_failover(self):
+        cluster = make_cluster()
+        publish(cluster, 250)
+        cluster.servers[0].crash()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        counters = cluster.telemetry.tree("master").counters
+        assert counters["master.recoveries"].get() >= 1.0
+        assert counters["master.failovers"].get() >= 1.0
+        assert cluster.master.cells_lost_unsynced == 0

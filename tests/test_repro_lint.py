@@ -39,6 +39,7 @@ class TestFramework:
             "rogue-registry",
             "unbounded-cache",
             "pointwise-hotloop",
+            "deadline-free-rpc",
         }
 
     def test_parse_error_is_a_finding(self):
@@ -538,3 +539,47 @@ class TestPointwiseHotloop:
                 yield p
         """
         assert not findings(src, self.TSDB_PATH)
+
+
+class TestDeadlineFreeRpc:
+    def test_missing_rpc_timeout_fires(self):
+        src = """
+        def make_client(sim, network, master):
+            return HTableClient(sim, network, master, "host")
+        """
+        assert rule_ids(src) == {"deadline-free-rpc"}
+
+    def test_none_rpc_timeout_fires(self):
+        src = """
+        def make_client(sim, network, master):
+            return HTableClient(sim, network, master, "host", rpc_timeout=None)
+        """
+        assert rule_ids(src) == {"deadline-free-rpc"}
+
+    def test_explicit_rpc_timeout_clean(self):
+        src = """
+        def make_client(sim, network, master):
+            return HTableClient(sim, network, master, "host", rpc_timeout=2.0)
+        """
+        assert not findings(src)
+
+    def test_attribute_qualified_call_fires(self):
+        src = """
+        def make_client(hbase, sim, network, master):
+            return hbase.HTableClient(sim, network, master, "host")
+        """
+        assert rule_ids(src) == {"deadline-free-rpc"}
+
+    def test_outside_package_clean(self):
+        src = """
+        def make_client(sim, network, master):
+            return HTableClient(sim, network, master, "host")
+        """
+        assert not findings(src, "tests/test_x.py")
+
+    def test_suppression_applies(self):
+        src = """
+        def make_client(sim, network, master):
+            return HTableClient(sim, network, master, "host")  # repro-lint: ignore[deadline-free-rpc] -- latency study
+        """
+        assert not findings(src)

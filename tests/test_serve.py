@@ -797,3 +797,73 @@ class TestDashboardIntegration:
         # A second render is answered from cache, still identically.
         assert Dashboard(gateway).fleet_overview_html([0, 1], 0, 60) == via_engine
         assert gateway.cache.hits > 0
+
+
+class TestDegradedServing:
+    """Gateway behaviour when the primary replica set is unreachable:
+    timeline (follower) answers are served flagged ``degraded`` with an
+    advertised staleness bound, never cached, and a strict gateway
+    sheds instead."""
+
+    def degraded_cluster(self, **overrides):
+        defaults = dict(
+            n_nodes=3,
+            salt_buckets=4,
+            retain_data=True,
+            replication_factor=2,
+            failure_detection_delay=5.0,  # crash stays undetected
+        )
+        defaults.update(overrides)
+        cluster = small_cluster(**defaults)
+        cluster.direct_put(seed_points())
+        return cluster
+
+    def test_healthy_serve_is_not_degraded(self):
+        cluster = self.degraded_cluster()
+        gateway = cluster.gateway()
+        result = gateway.serve(overview_query())
+        assert result.degraded is False
+        assert result.max_staleness == 0.0
+
+    def test_crashed_primary_serves_degraded_with_staleness_bound(self):
+        cluster = self.degraded_cluster()
+        gateway = cluster.gateway()
+        cluster.servers[0].crash()
+        result = gateway.serve(overview_query())
+        assert result.degraded is True
+        assert result.max_staleness >= 0.0
+        # the follower answer matches the engine's timeline view
+        consistent = cluster.query_engine().run_available(overview_query())
+        assert consistent.mode == "timeline"
+        assert_series_equal(result.series, consistent.series)
+        counters = cluster.telemetry.tree("serve").counters
+        assert counters["serve.degraded"].get() == 1.0
+
+    def test_degraded_answers_are_never_cached(self):
+        cluster = self.degraded_cluster()
+        gateway = cluster.gateway()
+        cluster.servers[0].crash()
+        first = gateway.serve(overview_query())
+        second = gateway.serve(overview_query())
+        assert first.degraded and second.degraded
+        assert first.status == "miss" and second.status == "miss"
+        counters = cluster.telemetry.tree("serve").counters
+        assert counters["serve.degraded"].get() == 2.0
+
+    def test_strict_gateway_sheds_instead_of_degrading(self):
+        cluster = self.degraded_cluster()
+        gateway = cluster.gateway(GatewayConfig(allow_degraded=False))
+        cluster.servers[0].crash()
+        with pytest.raises(QueryRejected) as excinfo:
+            gateway.serve(overview_query())
+        assert excinfo.value.reason == "unavailable"
+
+    def test_strong_serving_resumes_after_failover(self):
+        cluster = self.degraded_cluster(failure_detection_delay=0.3)
+        gateway = cluster.gateway()
+        cluster.servers[0].crash()
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        result = gateway.serve(overview_query())
+        assert result.degraded is False
+        reference = cluster.query_engine().run(overview_query())
+        assert_series_equal(result.series, reference)
