@@ -1,0 +1,48 @@
+"""E17 — continuous detection + smart alerting over the micro-batch stream.
+
+The streaming tier's headline claim: on a seeded correlated-fault
+fleet the alerting layer collapses naive per-sensor firings into one
+incident per physical fault (>= 5x volume reduction, in practice two
+orders of magnitude) while missing no injected fault, and the
+stream → incident path sustains its ingest rate with every ack-tracked
+publish channel conserving points.
+
+Besides the archived table this benchmark emits ``BENCH_e17.json`` at
+the repo root — the machine-readable record the regression gate
+(``tests/test_alerting_gate.py``) and EXPERIMENTS.md cite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import REGISTRY, write_json_result
+from repro.bench.experiments import E17_REDUCTION_FLOOR
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_e17.json"
+
+
+@pytest.mark.benchmark(group="alerting")
+def test_streaming_alerting(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: REGISTRY.run("e17"),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    write_json_result(result, BENCH_JSON)
+    numbers = result.numbers
+
+    # the tentpole claim: one incident per fault, not one page per sensor
+    assert numbers["volume_reduction"] >= E17_REDUCTION_FLOOR
+    assert numbers["missed_units"] == 0
+    assert numbers["detected_units"] == numbers["faulted_units"]
+    assert numbers["spurious_unit_incidents"] == 0
+    # end-to-end detection latency is recorded and finite
+    assert numbers["latency_max"] > 0
+    # every publish channel conserves points under sustained ingest
+    assert numbers["data_unaccounted"] == 0
+    assert numbers["anomaly_unaccounted"] == 0
+    assert numbers["alert_unaccounted"] == 0
+    # incidents round-trip into queryable alert.* series
+    assert numbers["stored_alert_incidents"] == numbers["incidents_opened"]

@@ -37,6 +37,16 @@ Subpackages
     The experiment harness regenerating every paper figure/table.
 """
 
+from .alerting import (
+    AlertManager,
+    AlertStore,
+    AlertingConfig,
+    AnomalyEvent,
+    Incident,
+    IncidentState,
+    StreamingDetectionReport,
+    StreamingDetector,
+)
 from .core import (
     AnomalyPipeline,
     AnomalyReport,
@@ -93,6 +103,10 @@ from .viz import Dashboard, DashboardConfig, FleetAnalytics
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlertManager",
+    "AlertStore",
+    "AlertingConfig",
+    "AnomalyEvent",
     "AnomalyPipeline",
     "AnomalyReport",
     "AsyncQueryExecutor",
@@ -115,6 +129,8 @@ __all__ = [
     "FleetGenerator",
     "FleetWorkload",
     "GatewayConfig",
+    "Incident",
+    "IncidentState",
     "IncrementalMoments",
     "IngestionDriver",
     "OfflineTrainer",
@@ -131,6 +147,8 @@ __all__ = [
     "ShewhartChart",
     "SparkletContext",
     "StreamingContext",
+    "StreamingDetectionReport",
+    "StreamingDetector",
     "StreamingTrainer",
     "TrainingResult",
     "TsdbCluster",

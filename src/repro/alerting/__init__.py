@@ -1,0 +1,44 @@
+"""Smart alerting: anomaly points → deduplicated fleet incidents.
+
+The operator-facing tier on top of streaming detection.  Raw
+per-sensor discoveries are folded into :class:`Incident` objects —
+deduplicated across sensors and intervals, severity-scored,
+hysteresis-gated against transients, flap-suppressed, and rolled up
+sensor → unit → fleet — then persisted into the TSDB as ``alert.*``
+series so incidents are queryable like any other metric.
+
+Entry points:
+
+* :class:`AlertManager` — the dedup/suppression/roll-up state machine
+  (feed it per-interval :class:`AnomalyEvent` batches);
+* :class:`StreamingDetector` — the full continuous path: micro-batch
+  DStream → online evaluation with hot-swapped models → alerting →
+  ack-tracked publishing;
+* :class:`AlertStore` — the ``alert.incident`` / ``alert.resolve``
+  write-back channel.
+
+All alert emission routes through this package — ``repro-lint``'s
+``unsuppressed-alert-emit`` rule rejects ``alert.*`` writes or
+incident construction anywhere else in ``repro``.
+"""
+
+from .events import AlertingConfig, AnomalyEvent, Incident, IncidentState, severity_for
+from .manager import AlertManager
+from .store import ALERT_INCIDENT_METRIC, ALERT_RESOLVE_METRIC, AlertStore, alert_unit_tag
+from .stream import StreamingDetectionReport, StreamingDetector, fleet_microbatches
+
+__all__ = [
+    "ALERT_INCIDENT_METRIC",
+    "ALERT_RESOLVE_METRIC",
+    "AlertManager",
+    "AlertStore",
+    "AlertingConfig",
+    "AnomalyEvent",
+    "Incident",
+    "IncidentState",
+    "StreamingDetectionReport",
+    "StreamingDetector",
+    "alert_unit_tag",
+    "fleet_microbatches",
+    "severity_for",
+]

@@ -1,0 +1,181 @@
+"""Alerting domain objects: events, incidents, lifecycle, severity.
+
+The detection tier produces *anomaly points* — one flagged
+``(time, unit, sensor)`` cell per discovery.  At fleet scale that is
+the wrong operator currency: a single correlated fault lights up dozens
+of sensors for hundreds of intervals, and naive per-sensor firing turns
+one physical problem into thousands of pages.  The alerting tier (per
+DeCorus and the smart-alerting literature in PAPERS.md) folds anomaly
+events into **incidents**: deduplicated per unit, severity-scored,
+hysteresis-gated, flap-suppressed, and rolled up sensor → unit → fleet.
+
+The incident lifecycle is a small explicit state machine::
+
+    CLEAR ──anomalous──▶ PENDING ──open_after──▶ OPEN
+      ▲                     │                      │
+      └────────clean────────┘        clean × close_after
+      ▲                                            │
+      └──────────────── RESOLVED ◀─────────────────┘
+
+    OPEN/RESOLVED ──rapid re-open × max_flaps──▶ SUPPRESSED
+    SUPPRESSED ──flap_window quiet──▶ CLEAR
+
+``PENDING`` is the opening hysteresis (one noisy interval never pages);
+``close_after`` is the closing hysteresis (one quiet interval never
+closes a real fault); ``SUPPRESSED`` absorbs flapping units — they keep
+being tracked, but stop emitting operator-facing transitions until they
+hold quiet for a full ``flap_window``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+__all__ = [
+    "AlertingConfig",
+    "AnomalyEvent",
+    "Incident",
+    "IncidentState",
+    "severity_for",
+]
+
+
+class IncidentState(enum.Enum):
+    """Lifecycle states of a tracked scope (unit or fleet)."""
+
+    CLEAR = "clear"
+    PENDING = "pending"
+    OPEN = "open"
+    SUPPRESSED = "suppressed"
+    RESOLVED = "resolved"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One flagged detection cell entering the alerting tier.
+
+    ``score`` is the standardised (windowed z) magnitude at the flagged
+    instant — the severity currency.  ``timestamp`` is stream time
+    (seconds at 1 Hz), not wall clock, so detection latency is
+    measured in the same units faults are injected in.
+    """
+
+    unit_id: int
+    sensor_id: int
+    timestamp: int
+    score: float
+
+
+@dataclass(frozen=True)
+class AlertingConfig:
+    """Knobs of the dedup/suppression/roll-up layer.
+
+    Parameters
+    ----------
+    open_after:
+        Consecutive anomalous intervals before a PENDING scope opens
+        (opening hysteresis; 1 disables it).
+    close_after:
+        Consecutive clean intervals before an OPEN scope resolves
+        (closing hysteresis).
+    flap_window:
+        Seconds after a resolve within which a re-open counts as a
+        flap.  Also the quiet period a SUPPRESSED scope must hold
+        before returning to CLEAR.
+    max_flaps:
+        Flaps tolerated before the scope is SUPPRESSED.
+    fleet_threshold:
+        Simultaneously OPEN units that escalate to one fleet-scope
+        incident (the hierarchical roll-up).
+    warning_z / critical_z:
+        Peak |z| thresholds mapping an incident's score to a severity
+        label (below ``warning_z`` is "info").
+    """
+
+    open_after: int = 2
+    close_after: int = 3
+    flap_window: int = 60
+    max_flaps: int = 3
+    fleet_threshold: int = 3
+    warning_z: float = 4.0
+    critical_z: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.open_after < 1:
+            raise ValueError("open_after must be >= 1")
+        if self.close_after < 1:
+            raise ValueError("close_after must be >= 1")
+        if self.flap_window < 1:
+            raise ValueError("flap_window must be >= 1")
+        if self.max_flaps < 1:
+            raise ValueError("max_flaps must be >= 1")
+        if self.fleet_threshold < 2:
+            raise ValueError("fleet_threshold must be >= 2")
+        if not 0 < self.warning_z <= self.critical_z:
+            raise ValueError("need 0 < warning_z <= critical_z")
+
+
+def severity_for(score: float, config: AlertingConfig) -> str:
+    """Map a peak |z| score to an operator-facing severity label."""
+    if score >= config.critical_z:
+        return "critical"
+    if score >= config.warning_z:
+        return "warning"
+    return "info"
+
+
+@dataclass
+class Incident:
+    """One deduplicated operator-facing incident.
+
+    ``scope`` is ``"unit"`` or ``"fleet"``; fleet incidents carry
+    ``unit_id = -1`` and track the member units instead of sensors.
+    ``first_event_at`` is the earliest contributing event (before the
+    opening hysteresis cleared), so detection latency measures from the
+    first evidence, not from when the hysteresis let it page.
+    """
+
+    incident_id: int
+    scope: str
+    unit_id: int
+    opened_at: int
+    first_event_at: int
+    severity_score: float = 0.0
+    sensors: Set[int] = field(default_factory=set)
+    member_units: Set[int] = field(default_factory=set)
+    events: int = 0
+    flaps: int = 0
+    resolved_at: Optional[int] = None
+
+    def absorb(self, event: AnomalyEvent) -> None:
+        """Fold one more anomaly event into this incident (the dedup)."""
+        self.events += 1
+        self.sensors.add(event.sensor_id)
+        score = abs(event.score)
+        if score > self.severity_score:
+            self.severity_score = score
+
+    def severity(self, config: AlertingConfig) -> str:
+        return severity_for(self.severity_score, config)
+
+    @property
+    def open(self) -> bool:
+        return self.resolved_at is None
+
+    @property
+    def duration(self) -> int:
+        """Seconds open (0 while still open)."""
+        return 0 if self.resolved_at is None else self.resolved_at - self.opened_at
+
+
+def latest_open(incidents: List[Incident]) -> Optional[Incident]:
+    """The most recent still-open incident in a history list, if any."""
+    for incident in reversed(incidents):
+        if incident.open:
+            return incident
+    return None

@@ -1,0 +1,120 @@
+"""Alert history persisted into the TSDB itself, as ``alert.*`` series.
+
+The paper's platform stores *everything* queryable in OpenTSDB —
+sensor data, anomalies, even the platform's own self-telemetry.  The
+alerting tier follows suit: every incident open and resolve becomes a
+data point, written through the same ack-tracked, backpressured
+:class:`~repro.tsdb.publish.BatchPublisher` ingress as everything else
+(channel ``publish.alerts``, so delivery stays separately accounted
+and the conservation invariant covers alerts too).
+
+Series schema::
+
+    alert.incident  @ opened_at   value = peak |z| severity score
+                    tags: scope=unit|fleet, severity=info|warning|critical,
+                          unit=unitNNN (or "fleet")
+    alert.resolve   @ resolved_at value = incident duration (seconds)
+                    tags: same
+
+Both are ordinary series: queryable through the
+:class:`~repro.serve.gateway.QueryGateway`, visible on the dashboard's
+incident panel, and aggregatable like any other metric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.metrics import MetricsRegistry
+from ..tsdb.ingest import TsdbCluster
+from ..tsdb.publish import BatchPublisher, PublishReport
+from ..tsdb.tsd import DataPoint
+from .events import AlertingConfig, Incident
+
+__all__ = ["ALERT_INCIDENT_METRIC", "ALERT_RESOLVE_METRIC", "AlertStore", "alert_unit_tag"]
+
+ALERT_INCIDENT_METRIC = "alert.incident"
+ALERT_RESOLVE_METRIC = "alert.resolve"
+
+
+def alert_unit_tag(incident: Incident) -> str:
+    """The ``unit`` tag value for an incident (fleet scope is literal)."""
+    if incident.scope == "fleet":
+        return "fleet"
+    return f"unit{incident.unit_id:03d}"
+
+
+class AlertStore:
+    """Writes incident lifecycle transitions into the TSDB.
+
+    Parameters
+    ----------
+    cluster:
+        The deployment to persist into.
+    metrics:
+        Registry for the publisher's ``publish.alerts.*`` counters.
+    batch_size:
+        Points per put batch; alerts are low-volume, so the default is
+        small to keep persistence latency low.
+    use_proxy_path:
+        Route through the buffering reverse proxy (the default), or
+        ``direct_put`` for storage-less unit tests.
+    """
+
+    def __init__(
+        self,
+        cluster: TsdbCluster,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        batch_size: int = 25,
+        use_proxy_path: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.publisher = BatchPublisher(
+            cluster,
+            batch_size=batch_size,
+            use_proxy_path=use_proxy_path,
+            metrics=metrics,
+            channel="publish.alerts",
+        )
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+    def record_incident(self, incident: Incident, config: AlertingConfig) -> None:
+        """Persist an incident open as one ``alert.incident`` point."""
+        self.publisher.publish([self._point(ALERT_INCIDENT_METRIC, incident, config,
+                                            incident.opened_at,
+                                            incident.severity_score)])
+        self.records_written += 1
+
+    def record_resolve(self, incident: Incident, config: AlertingConfig) -> None:
+        """Persist a resolve as one ``alert.resolve`` point (value = duration)."""
+        assert incident.resolved_at is not None
+        self.publisher.publish([self._point(ALERT_RESOLVE_METRIC, incident, config,
+                                            incident.resolved_at,
+                                            float(incident.duration))])
+        self.records_written += 1
+
+    def flush(self) -> PublishReport:
+        """Drain pending alert writes; enforces delivery conservation."""
+        return self.publisher.flush()
+
+    # ------------------------------------------------------------------
+    def _point(
+        self,
+        metric: str,
+        incident: Incident,
+        config: AlertingConfig,
+        timestamp: int,
+        value: float,
+    ) -> DataPoint:
+        return DataPoint(
+            metric,
+            timestamp,
+            value,
+            (
+                ("scope", incident.scope),
+                ("severity", incident.severity(config)),
+                ("unit", alert_unit_tag(incident)),
+            ),
+        )

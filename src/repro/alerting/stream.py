@@ -1,0 +1,364 @@
+"""The continuous path: micro-batch stream → detection → incidents.
+
+This is the closed loop the paper's §VI names as ongoing work, built
+from pieces that already exist separately:
+
+* a :class:`~repro.sparklet.streaming.DStream` of ``(unit_id,
+  start_time, values)`` micro-batch records drives the intervals;
+* :class:`~repro.core.streaming.StreamingTrainer` folds each batch
+  into per-unit moments and periodically refreshes models, which are
+  **hot-swapped** into per-unit
+  :class:`~repro.core.online.OnlineEvaluator` fast paths via
+  ``on_model`` — scoring never pauses for training;
+* raw samples are published as columnar
+  :class:`~repro.tsdb.blocks.SeriesBlock` batches and flagged
+  anomalies as ``anomaly`` points, both through ack-tracked
+  :class:`~repro.tsdb.publish.BatchPublisher` channels;
+* flagged cells become :class:`~repro.alerting.events.AnomalyEvent`
+  feeding the :class:`~repro.alerting.manager.AlertManager`, whose
+  incidents land back in the TSDB as ``alert.*`` series.
+
+Training reads only rows the current model did *not* flag, so an
+active fault does not poison the very statistics used to detect it
+(before a unit has any model, everything trains — the cold-start data
+is the stream's own early history).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fdr import FDRDetectorConfig
+from ..core.model import UnitModel
+from ..core.pipeline import ANOMALY_METRIC
+from ..core.online import OnlineEvaluator
+from ..core.streaming import StreamingTrainer
+from ..obs.telemetry import Telemetry
+from ..simdata.generator import FleetGenerator
+from ..simdata.workload import METRIC, sensor_tag, unit_tag
+from ..sparklet.context import SparkletContext
+from ..sparklet.rdd import RDD
+from ..sparklet.streaming import DStream, StreamingContext
+from ..tsdb.blocks import BlockBatch, SeriesBlock
+from ..tsdb.ingest import TsdbCluster
+from ..tsdb.publish import BatchPublisher, PublishReport
+from ..tsdb.tsd import DataPoint
+from .events import AlertingConfig, AnomalyEvent, Incident
+from .manager import AlertManager
+from .store import AlertStore
+
+__all__ = ["StreamingDetector", "StreamingDetectionReport", "fleet_microbatches"]
+
+#: One stream record: (unit_id, start_time, values (T, p)).
+StreamRecord = Tuple[int, int, np.ndarray]
+
+
+def fleet_microbatches(
+    generator: FleetGenerator,
+    unit_ids: Optional[Sequence[int]] = None,
+    *,
+    n_train: int = 300,
+    n_eval: int = 300,
+    interval: int = 25,
+) -> Iterator[List[StreamRecord]]:
+    """The fleet as a deterministic micro-batch stream.
+
+    Each interval yields one record per unit covering ``interval``
+    rows; the first ``n_train`` rows are the fault-free training
+    window, followed seamlessly by the evaluation window (faults
+    injected at their per-unit onsets) — exactly the arrival order a
+    live fleet would produce.
+    """
+    if interval < 1:
+        raise ValueError("interval must be >= 1")
+    units = list(unit_ids) if unit_ids is not None else list(generator.units())
+    windows = {
+        u: np.vstack(
+            [
+                generator.training_window(u, n_train).values,
+                generator.evaluation_window(u, n_eval, start_time=n_train).values,
+            ]
+        )
+        for u in units
+    }
+    total = n_train + n_eval
+    for start in range(0, total, interval):
+        stop = min(start + interval, total)
+        yield [(u, start, windows[u][start:stop]) for u in units]
+
+
+@dataclass
+class StreamingDetectionReport:
+    """Everything one streaming run produced (returned by ``finalize``)."""
+
+    intervals: int = 0
+    samples_streamed: int = 0
+    samples_scored: int = 0
+    naive_alerts: int = 0
+    incidents: List[Incident] = field(default_factory=list)
+    model_swaps: int = 0
+    quarantines: int = 0
+    wall_seconds: float = 0.0
+    data_publish: Optional[PublishReport] = None
+    anomaly_publish: Optional[PublishReport] = None
+    alert_publish: Optional[PublishReport] = None
+
+    @property
+    def incidents_opened(self) -> int:
+        return len(self.incidents)
+
+    @property
+    def volume_reduction(self) -> float:
+        """Naive per-sensor firings per emitted incident."""
+        if not self.incidents:
+            return float("inf") if self.naive_alerts else 1.0
+        return self.naive_alerts / len(self.incidents)
+
+    @property
+    def samples_per_second(self) -> float:
+        """End-to-end sustained ingest rate (stream → incident), wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.samples_streamed / self.wall_seconds
+
+    def unit_incidents(self, unit_id: int) -> List[Incident]:
+        return [
+            i for i in self.incidents if i.scope == "unit" and i.unit_id == unit_id
+        ]
+
+    def detection_latencies(self, onsets: Dict[int, int]) -> Dict[int, int]:
+        """Stream-time latency from fault onset to incident open.
+
+        ``onsets`` maps unit id → absolute onset time.  A unit with no
+        incident opened at/after its onset is *missed* and omitted —
+        callers compare the result's keys against ``onsets`` to count
+        misses.
+        """
+        out: Dict[int, int] = {}
+        for unit_id, onset in onsets.items():
+            opened = [
+                i.opened_at
+                for i in self.unit_incidents(unit_id)
+                if i.opened_at >= onset
+            ]
+            if opened:
+                out[unit_id] = min(opened) - onset
+        return out
+
+
+class StreamingDetector:
+    """Continuous detection + alerting over a micro-batch stream.
+
+    Parameters
+    ----------
+    n_sensors:
+        Per-unit sensor count (the fleet schema).
+    cluster:
+        Deployment to publish data/anomalies/alerts into (optional —
+        without it the run is storage-less: detection and alerting
+        only).
+    config:
+        Detector configuration shared by trainer and evaluators.
+    alerting:
+        Alerting-layer knobs (hysteresis, suppression, roll-up).
+    refresh_every / min_samples:
+        :class:`StreamingTrainer` cadence.
+    telemetry:
+        Shared telemetry; counters land under the ``alerting`` tree
+        (``alerting.model_swaps``, ``alerting.quarantines``, …) next to
+        the manager's own counters.
+    publish:
+        Write data + anomalies + alerts back to the cluster.
+    publish_batch_size:
+        Points per put batch on each publisher channel.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        cluster: Optional[TsdbCluster] = None,
+        *,
+        config: Optional[FDRDetectorConfig] = None,
+        alerting: Optional[AlertingConfig] = None,
+        refresh_every: int = 3,
+        min_samples: int = 50,
+        telemetry: Optional[Telemetry] = None,
+        publish: bool = True,
+        publish_batch_size: int = 400,
+    ) -> None:
+        self.n_sensors = n_sensors
+        self.cluster = cluster
+        self.config = config if config is not None else FDRDetectorConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.metrics = self.telemetry.registry("alerting")
+        store = None
+        self._data_pub: Optional[BatchPublisher] = None
+        self._anomaly_pub: Optional[BatchPublisher] = None
+        if cluster is not None and publish:
+            store = AlertStore(cluster, metrics=self.metrics)
+            self._data_pub = BatchPublisher(
+                cluster,
+                batch_size=publish_batch_size,
+                metrics=self.metrics,
+                channel="publish.data",
+            )
+            self._anomaly_pub = BatchPublisher(
+                cluster,
+                batch_size=publish_batch_size,
+                metrics=self.metrics,
+                channel="publish.anomaly",
+            )
+        self.manager = AlertManager(alerting, metrics=self.metrics, store=store)
+        self.trainer = StreamingTrainer(
+            n_sensors,
+            config=self.config,
+            refresh_every=refresh_every,
+            min_samples=min_samples,
+            on_model=self._swap_model,
+            on_quarantine=self._on_quarantine,
+        )
+        self._evaluators: Dict[int, OnlineEvaluator] = {}
+        self.report = StreamingDetectionReport()
+        self._clock = 0  # stream time at the end of the last interval
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # model hot-swap (StreamingTrainer.on_model)
+    # ------------------------------------------------------------------
+    def _swap_model(self, model: UnitModel) -> None:
+        self._evaluators[model.unit_id] = OnlineEvaluator(model, self.config)
+        self.report.model_swaps += 1
+        self.metrics.counter("alerting.model_swaps").inc()
+
+    def _on_quarantine(self, unit_id: int) -> None:
+        self.report.quarantines += 1
+        self.metrics.counter("alerting.quarantines").inc()
+
+    # ------------------------------------------------------------------
+    # stream wiring
+    # ------------------------------------------------------------------
+    def attach(self, stream: DStream) -> None:
+        """Register this detector as an output on a record stream."""
+        stream.foreach_rdd(self._on_interval)
+
+    def _on_interval(self, _time_index: int, rdd: RDD) -> None:
+        t0 = time.perf_counter()
+        records: List[StreamRecord] = rdd.collect()
+        events: List[AnomalyEvent] = []
+        blocks: List[SeriesBlock] = []
+        anomaly_points: List[DataPoint] = []
+        for unit_id, start_time, values in records:
+            x = np.asarray(values, dtype=np.float64)
+            if x.ndim != 2 or x.shape[0] == 0:
+                continue
+            self.report.samples_streamed += x.size
+            self._clock = max(self._clock, start_time + x.shape[0])
+            if self._data_pub is not None:
+                self._collect_blocks(unit_id, start_time, x, blocks)
+            evaluator = self._evaluators.get(unit_id)
+            if evaluator is None:
+                # Cold start: everything trains until the first model.
+                self.trainer.ingest(unit_id, x)
+                continue
+            flags, unit_alarm, z = evaluator.evaluate_scored(x)
+            self.report.samples_scored += x.size
+            rows, cols = np.nonzero(flags)
+            self.report.naive_alerts += rows.size
+            utag = ("unit", unit_tag(unit_id))
+            for row, sensor in zip(rows.tolist(), cols.tolist()):
+                score = float(z[row, sensor])
+                t = start_time + row
+                events.append(AnomalyEvent(unit_id, sensor, t, score))
+                anomaly_points.append(
+                    DataPoint(
+                        ANOMALY_METRIC,
+                        t,
+                        score,
+                        (("sensor", sensor_tag(sensor)), utag),
+                    )
+                )
+            # Train on what the current model considers clean, so an
+            # in-progress fault does not drag the baseline toward it.
+            clean = ~flags.any(axis=1)
+            self.trainer.ingest(unit_id, x[clean] if not clean.all() else x)
+        if self._data_pub is not None and blocks:
+            self._data_pub.publish_blocks(BlockBatch(blocks))
+        if self._anomaly_pub is not None and anomaly_points:
+            self._anomaly_pub.publish(anomaly_points)
+        self.manager.observe(self._clock, events)
+        self.report.intervals += 1
+        self.metrics.counter("alerting.intervals").inc()
+        self.metrics.histogram("alerting.interval_seconds").observe(
+            time.perf_counter() - t0
+        )
+
+    def _collect_blocks(
+        self, unit_id: int, start_time: int, x: np.ndarray, out: List[SeriesBlock]
+    ) -> None:
+        """Columnarise one record (one block per sensor column)."""
+        utag = ("unit", unit_tag(unit_id))
+        ts = range(start_time, start_time + x.shape[0])
+        for sensor in range(x.shape[1]):
+            out.append(
+                SeriesBlock.from_columns(
+                    METRIC,
+                    (("sensor", sensor_tag(sensor)), utag),
+                    ts,
+                    x[:, sensor],
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run_fleet(
+        self,
+        generator: FleetGenerator,
+        unit_ids: Optional[Sequence[int]] = None,
+        *,
+        n_train: int = 300,
+        n_eval: int = 300,
+        interval: int = 25,
+        ctx: Optional[SparkletContext] = None,
+    ) -> StreamingDetectionReport:
+        """Stream a generated fleet end to end and finalize.
+
+        Convenience wrapper: builds the micro-batch source with
+        :func:`fleet_microbatches`, attaches this detector, runs the
+        stream to exhaustion, and returns the finalized report.
+        """
+        sc = ctx if ctx is not None else SparkletContext(parallelism=2)
+        ssc = StreamingContext(sc)
+        stream = ssc.generator_stream(
+            fleet_microbatches(
+                generator, unit_ids, n_train=n_train, n_eval=n_eval, interval=interval
+            )
+        )
+        self.attach(stream)
+        t0 = time.perf_counter()
+        ssc.run()
+        self.report.wall_seconds = time.perf_counter() - t0
+        return self.finalize()
+
+    def finalize(self) -> StreamingDetectionReport:
+        """Flush every publisher channel and seal the report.
+
+        Conservation is enforced per channel by each publisher's own
+        ``flush`` — a lost alert or anomaly point raises rather than
+        vanishing.
+        """
+        if self._finalized:
+            return self.report
+        self._finalized = True
+        if self._data_pub is not None:
+            self.report.data_publish = self._data_pub.flush()
+        if self._anomaly_pub is not None:
+            self.report.anomaly_publish = self._anomaly_pub.flush()
+        if self.manager.store is not None:
+            self.report.alert_publish = self.manager.store.flush()
+        self.report.incidents = list(self.manager.incidents)
+        return self.report

@@ -1,6 +1,6 @@
 """The repro-lint rule catalogue.
 
-Eleven rules tuned to this repository's correctness invariants:
+Twelve rules tuned to this repository's correctness invariants:
 
 ===================  ===================================================
 ``unseeded-rng``     RNG created or used without an explicit seed
@@ -43,6 +43,12 @@ Eleven rules tuned to this repository's correctness invariants:
                      replies, so a deadline-free client hangs forever
                      where the replicated read path would have failed
                      over)
+``unsuppressed-alert-emit``  an alert emission site outside
+                     ``repro.alerting`` — ``alert.*`` series writes,
+                     ``Incident(...)`` construction, or direct
+                     ``record_incident``/``record_resolve`` calls —
+                     bypassing the dedup/suppression layer (route
+                     events through ``AlertManager.observe`` instead)
 ===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
@@ -69,6 +75,7 @@ __all__ = [
     "UnboundedCacheRule",
     "UnboundedRetryRule",
     "UnseededRngRule",
+    "UnsuppressedAlertEmitRule",
 ]
 
 
@@ -1008,3 +1015,88 @@ class UnboundedCacheRule(Rule):
             yield node.arg
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             yield node.name
+
+
+# ----------------------------------------------------------------------
+@register
+class UnsuppressedAlertEmitRule(Rule):
+    """Alert emission outside the ``repro.alerting`` dedup/suppression layer.
+
+    The alerting tier's contract is that *every* operator-facing alert
+    passes through :class:`~repro.alerting.manager.AlertManager` — the
+    dedup, hysteresis, flap-suppression, and roll-up machinery.  A
+    module that writes ``alert.*`` series, constructs
+    :class:`~repro.alerting.events.Incident` objects, or calls the
+    store's ``record_incident``/``record_resolve`` directly has minted
+    an unsuppressed alert: it will page on transients the manager would
+    have discarded and duplicate incidents the manager would have
+    folded.  Route raw detections through ``AlertManager.observe`` as
+    :class:`~repro.alerting.events.AnomalyEvent` batches instead.
+    Tests and benchmarks (outside the package tree) are exempt.
+    """
+
+    id = "unsuppressed-alert-emit"
+    summary = "alert emission outside the repro.alerting suppression layer"
+
+    _STORE_METHODS = {"record_incident", "record_resolve"}
+    _ADVICE = (
+        "route detections through AlertManager.observe (repro.alerting) "
+        "so dedup, hysteresis, and flap suppression apply"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        parts = source.path.parts
+        return "repro" in parts and "alerting" not in parts
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            terminal = dotted.rpartition(".")[2] if dotted is not None else None
+            if terminal == "Incident":
+                yield self.finding(
+                    source,
+                    node,
+                    f"Incident(...) constructed outside repro.alerting: "
+                    f"{self._ADVICE}",
+                )
+                continue
+            if terminal in self._STORE_METHODS:
+                yield self.finding(
+                    source,
+                    node,
+                    f"direct {terminal}(...) call bypasses the suppression "
+                    f"layer: {self._ADVICE}",
+                )
+                continue
+            metric = self._alert_metric_literal(node, terminal)
+            if metric is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"'{metric}' series written outside repro.alerting: "
+                    f"{self._ADVICE}",
+                )
+
+    @staticmethod
+    def _alert_metric_literal(node: ast.Call, terminal: Optional[str]) -> Optional[str]:
+        """The ``alert.*`` metric name when this call mints such a point."""
+        if terminal not in {"DataPoint", "make", "from_columns", "SeriesBlock"}:
+            return None
+        for arg in node.args[:1]:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and arg.value.startswith("alert.")
+            ):
+                return arg.value
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "metric"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+                and keyword.value.value.startswith("alert.")
+            ):
+                return keyword.value.value
+        return None

@@ -88,6 +88,19 @@ class OnlineEvaluator:
         mask and the T² unit alarm.  Window state carries across calls,
         so feeding a long window in chunks matches one-shot evaluation.
         """
+        flags, unit_alarm, _ = self.evaluate_scored(values)
+        return flags, unit_alarm
+
+    def evaluate_scored(
+        self, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`evaluate` plus the windowed z-scores it flagged on.
+
+        Identical state/carry semantics and identical flags; the third
+        element is the ``(T, p)`` windowed z-score matrix, which the
+        streaming alerting path uses for severity scoring without a
+        second standardisation pass.
+        """
         x = np.asarray(values, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.model.n_sensors:
             raise ValueError(f"values must be (T, {self.model.n_sensors})")
@@ -109,7 +122,7 @@ class OnlineEvaluator:
         self.stats.batches += 1
         self.stats.discoveries += int(flags.sum())
         self.stats.unit_alarms += int(unit_alarm.sum())
-        return flags, unit_alarm
+        return flags, unit_alarm, z_win
 
     def report(self, values: np.ndarray) -> AnomalyReport:
         """Score one full window into an :class:`AnomalyReport`.

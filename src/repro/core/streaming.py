@@ -118,6 +118,7 @@ class _UnitState:
     batches_since_refresh: int = 0
     model: Optional[UnitModel] = None
     refreshes: int = 0
+    quarantines: int = 0
 
 
 class StreamingTrainer:
@@ -136,6 +137,10 @@ class StreamingTrainer:
     on_model:
         Optional callback fired with every refreshed :class:`UnitModel`
         (e.g. to persist to a block store or hot-swap an evaluator).
+    on_quarantine:
+        Optional callback fired with the unit id whenever a due refresh
+        is skipped because the unit's accumulated variance is degenerate
+        (see :meth:`ingest`); the unit keeps its last good model.
     """
 
     def __init__(
@@ -145,6 +150,7 @@ class StreamingTrainer:
         refresh_every: int = 5,
         min_samples: int = 50,
         on_model: Optional[Callable[[UnitModel], None]] = None,
+        on_quarantine: Optional[Callable[[int], None]] = None,
     ) -> None:
         if refresh_every < 1:
             raise ValueError("refresh_every must be >= 1")
@@ -155,15 +161,35 @@ class StreamingTrainer:
         self.refresh_every = refresh_every
         self.min_samples = min_samples
         self.on_model = on_model
+        self.on_quarantine = on_quarantine
+        #: Total degenerate-variance refreshes skipped across all units.
+        self.total_quarantines = 0
         self._units: Dict[int, _UnitState] = {}
 
     # ------------------------------------------------------------------
     def ingest(self, unit_id: int, batch: np.ndarray) -> Optional[UnitModel]:
-        """Fold one micro-batch in; returns a refreshed model if due."""
+        """Fold one micro-batch in; returns a refreshed model if due.
+
+        Empty micro-batches (idle stream intervals) contribute nothing
+        to the moments and do **not** advance the refresh cadence — a
+        refresh is only ever triggered by new samples, never by the
+        passage of empty intervals.
+
+        A due refresh over degenerate statistics (some sensor's sample
+        variance is zero or non-finite — a stuck sensor, or a constant
+        feed) does not raise: the unit is *quarantined* for this cycle —
+        the refresh is skipped, the last good model stays live, the
+        per-unit and total quarantine counters advance, and
+        ``on_quarantine`` fires.  The cadence resets, so the refresh is
+        retried after another ``refresh_every`` non-empty batches (new
+        data may restore the variance).
+        """
         state = self._units.get(unit_id)
         if state is None:
             state = self._units[unit_id] = _UnitState(IncrementalMoments(self.n_sensors))
         state.moments.update(batch)
+        if np.asarray(batch).shape[0] == 0:
+            return None
         state.batches_since_refresh += 1
         due = (
             state.moments.count >= self.min_samples
@@ -184,13 +210,20 @@ class StreamingTrainer:
                 out.append(model)
         return out
 
-    def _refresh(self, unit_id: int, state: _UnitState) -> UnitModel:
+    def _refresh(self, unit_id: int, state: _UnitState) -> Optional[UnitModel]:
         moments = state.moments
         mean = moments.mean
         cov = moments.covariance()
         std = np.sqrt(np.diag(cov))
-        if np.any(std <= 0):
-            raise ValueError(f"unit {unit_id}: degenerate sensor variance")
+        if np.any(std <= 0) or not np.all(np.isfinite(std)):
+            # Quarantine, don't propagate: one stuck sensor on one unit
+            # must not kill the whole stream mid-run.  Keep the last
+            # good model and surface the skip through the counters.
+            state.quarantines += 1
+            self.total_quarantines += 1
+            if self.on_quarantine is not None:
+                self.on_quarantine(unit_id)
+            return None
         # correlation matrix = D^{-1/2} Σ D^{-1/2}
         inv = 1.0 / std
         corr = cov * np.outer(inv, inv)
@@ -228,6 +261,11 @@ class StreamingTrainer:
     def refreshes(self, unit_id: int) -> int:
         state = self._units.get(unit_id)
         return state.refreshes if state else 0
+
+    def quarantines(self, unit_id: int) -> int:
+        """Degenerate-variance refreshes skipped for one unit."""
+        state = self._units.get(unit_id)
+        return state.quarantines if state else 0
 
     def units(self) -> List[int]:
         return sorted(self._units)

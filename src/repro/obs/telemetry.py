@@ -62,6 +62,7 @@ DEFAULT_ROUTES: Dict[str, str] = {
     "publish": "publisher",
     "chaos": "chaos",
     "serve": "serve",  # the query-serving gateway (cache/admission)
+    "alerting": "alerting",  # incident dedup/suppression/roll-up tier
     "master": "master",  # region assignment, crash recovery, failovers
     "replication": "replication",  # follower replicas and WAL shipping
 }

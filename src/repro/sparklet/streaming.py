@@ -165,9 +165,17 @@ class DStream:
 
         Emits the full state map each interval (as Spark Streaming
         does).  ``old_state`` is ``None`` for unseen keys; returning
-        ``None`` drops the key.
+        ``None`` drops the key.  Emission order is deterministic but
+        sorted on a type-then-repr surrogate, not on the keys
+        themselves — key sets mixing non-comparable types (``int`` and
+        ``str`` unit ids, say) are legal stream keys and must not crash
+        the stateful operator.
         """
         state: Dict[Any, Any] = {}
+
+        def stable_key(item: Tuple[Any, Any]) -> Tuple[str, str]:
+            key = item[0]
+            return (type(key).__name__, repr(key))
 
         def on_batch(_t: int, rdd: RDD) -> RDD:
             grouped = dict(rdd.group_by_key().collect())
@@ -177,7 +185,7 @@ class DStream:
                     state.pop(key, None)
                 else:
                     state[key] = new_state
-            return self.ssc.sc.parallelize(sorted(state.items()))
+            return self.ssc.sc.parallelize(sorted(state.items(), key=stable_key))
 
         return self._derive(on_batch)
 

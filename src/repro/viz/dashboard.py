@@ -52,7 +52,13 @@ _SELF_METRIC_PREFIXES = (
     # platform panel silently dropped them until telemetry-drift
     # (repro.analysis cross rule) flagged the missing prefix.
     "server.",
+    "alerting.",
 )
+
+#: Incident-history series the alerting tier writes back into the TSDB
+#: (``alert.incident`` opens, ``alert.resolve`` closes).  These ride
+#: the data timeline, not the simulator clock, and get their own panel.
+_ALERT_METRIC_PREFIXES = ("alert.",)
 
 #: Self-telemetry timestamps run on the simulator clock, not the data
 #: timeline, so the platform panel scans the whole axis by default.
@@ -102,6 +108,8 @@ class DashboardConfig:
     sparkline_style: SparklineStyle = SparklineStyle()
     show_platform_health: bool = True  # self-telemetry panel on the index
     max_health_rows: int = 40  # (metric, host) rows in that panel
+    show_incidents: bool = True  # alert-history panel on the index
+    max_incident_rows: int = 30  # incident rows in that panel
 
 
 class Dashboard:
@@ -184,10 +192,77 @@ class Dashboard:
             "<th>sensors affected</th><th>unit alarms</th><th>trend</th></tr>"
             f"{''.join(rows)}</table></div>"
         )
+        if self.config.show_incidents:
+            body += self.incidents_html()
         if self.config.show_platform_health:
             body += self.platform_health_html()
         return self._page(
             self.config.title, f"fleet overview · t ∈ [{start}, {end})", body
+        )
+
+    def incidents_html(self, start: int = 0, end: Optional[int] = None) -> str:
+        """The incident panel: alert history read back from the TSDB.
+
+        Discovers the ``alert.*`` series the alerting tier persisted
+        (``alert.incident`` value = peak severity score at open,
+        ``alert.resolve`` value = duration) and renders one row per
+        incident event, newest first, tagged with scope / severity /
+        unit.  Returns an empty string when no alert series exist, so
+        deployments without the alerting tier render unchanged.
+        """
+        horizon = _SELF_METRIC_HORIZON if end is None else end
+        names = sorted(
+            name
+            for name in self.engine.uids.names("metric")
+            if name.startswith(_ALERT_METRIC_PREFIXES)
+        )
+        events: List[tuple] = []
+        for name in names:
+            query = TsdbQuery(
+                metric=name,
+                start=start,
+                end=horizon,
+                group_by=("scope", "severity", "unit"),
+            )
+            for series in self.engine.run(query):
+                tags = series.tag_dict
+                for t, v in zip(series.timestamps, series.values):
+                    events.append(
+                        (
+                            int(t),
+                            name,
+                            tags.get("scope", "?"),
+                            tags.get("severity", "?"),
+                            tags.get("unit", "?"),
+                            float(v),
+                        )
+                    )
+        if not events:
+            return ""
+        events.sort(key=lambda e: (-e[0], e[1]))
+        shown = events[: self.config.max_incident_rows]
+        rows = []
+        for t, name, scope, severity, unit, value in shown:
+            kind = "resolved" if name == "alert.resolve" else "opened"
+            what = f"duration {value:.0f}s" if kind == "resolved" else f"peak |z| {value:.1f}"
+            colour = {"critical": "#cf222e", "warning": "#bf8700"}.get(severity, "#57606a")
+            rows.append(
+                "<tr>"
+                f"<td>{t}</td><td>{html.escape(unit)}</td>"
+                f"<td>{html.escape(scope)}</td>"
+                f"<td><span class='grade' style='background:{colour}'>"
+                f"{html.escape(severity)}</span></td>"
+                f"<td>{kind}</td><td>{html.escape(what)}</td></tr>"
+            )
+        more = (
+            f"<div class='meta'>showing {len(shown)} of {len(events)} incident events</div>"
+            if len(events) > len(shown)
+            else ""
+        )
+        return (
+            "<div class='panel'><h2>Incidents</h2><table>"
+            "<tr><th>t</th><th>unit</th><th>scope</th><th>severity</th>"
+            f"<th>event</th><th>detail</th></tr>{''.join(rows)}</table>{more}</div>"
         )
 
     def _anomaly_trend_sparkline(self, unit_id: int, anomalies) -> str:

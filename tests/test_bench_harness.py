@@ -85,6 +85,7 @@ class TestBuiltinRegistry:
             "e14",
             "e15",
             "e16",
+            "e17",
         }
 
 

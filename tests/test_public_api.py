@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.alerting",
     "repro.core",
     "repro.tsdb",
     "repro.hbase",
@@ -60,6 +61,10 @@ class TestExports:
         import repro
 
         assert list(repro.__all__) == [
+            "AlertManager",
+            "AlertStore",
+            "AlertingConfig",
+            "AnomalyEvent",
             "AnomalyPipeline",
             "AnomalyReport",
             "AsyncQueryExecutor",
@@ -82,6 +87,8 @@ class TestExports:
             "FleetGenerator",
             "FleetWorkload",
             "GatewayConfig",
+            "Incident",
+            "IncidentState",
             "IncrementalMoments",
             "IngestionDriver",
             "OfflineTrainer",
@@ -98,6 +105,8 @@ class TestExports:
             "ShewhartChart",
             "SparkletContext",
             "StreamingContext",
+            "StreamingDetectionReport",
+            "StreamingDetector",
             "StreamingTrainer",
             "TrainingResult",
             "TsdbCluster",

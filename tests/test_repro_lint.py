@@ -40,6 +40,7 @@ class TestFramework:
             "unbounded-cache",
             "pointwise-hotloop",
             "deadline-free-rpc",
+            "unsuppressed-alert-emit",
         }
 
     def test_parse_error_is_a_finding(self):
@@ -581,5 +582,71 @@ class TestDeadlineFreeRpc:
         src = """
         def make_client(sim, network, master):
             return HTableClient(sim, network, master, "host")  # repro-lint: ignore[deadline-free-rpc] -- latency study
+        """
+        assert not findings(src)
+
+class TestUnsuppressedAlertEmit:
+    def test_incident_construction_fires(self):
+        src = """
+        def page(unit, now):
+            return Incident("i-1", "unit", unit, now, now)
+        """
+        assert rule_ids(src) == {"unsuppressed-alert-emit"}
+
+    def test_qualified_incident_construction_fires(self):
+        src = """
+        def page(alerting, unit, now):
+            return alerting.Incident("i-1", "unit", unit, now, now)
+        """
+        assert rule_ids(src) == {"unsuppressed-alert-emit"}
+
+    def test_alert_series_datapoint_fires(self):
+        src = """
+        def emit(now):
+            return DataPoint("alert.incident", now, 9.0, ())
+        """
+        assert rule_ids(src) == {"unsuppressed-alert-emit"}
+
+    def test_alert_series_keyword_metric_fires(self):
+        src = """
+        def emit(ts, vals):
+            return SeriesBlock.from_columns(
+                metric="alert.resolve", tags=(), timestamps=ts, values=vals
+            )
+        """
+        assert rule_ids(src) == {"unsuppressed-alert-emit"}
+
+    def test_direct_store_write_fires(self):
+        src = """
+        def publish(store, incident, config):
+            store.record_incident(incident, config)
+        """
+        assert rule_ids(src) == {"unsuppressed-alert-emit"}
+
+    def test_data_series_datapoint_clean(self):
+        src = """
+        def emit(now):
+            return DataPoint("energy", now, 9.0, ())
+        """
+        assert not findings(src)
+
+    def test_inside_alerting_package_clean(self):
+        src = """
+        def page(unit, now):
+            return Incident("i-1", "unit", unit, now, now)
+        """
+        assert not findings(src, "src/repro/alerting/manager.py")
+
+    def test_outside_package_clean(self):
+        src = """
+        def page(unit, now):
+            return Incident("i-1", "unit", unit, now, now)
+        """
+        assert not findings(src, "tests/test_x.py")
+
+    def test_suppression_applies(self):
+        src = """
+        def page(unit, now):
+            return Incident("i-1", "unit", unit, now, now)  # repro-lint: ignore[unsuppressed-alert-emit] -- replay tool
         """
         assert not findings(src)
