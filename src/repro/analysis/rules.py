@@ -1,6 +1,6 @@
 """The repro-lint rule catalogue.
 
-Twelve rules tuned to this repository's correctness invariants:
+Thirteen rules tuned to this repository's correctness invariants:
 
 ===================  ===================================================
 ``unseeded-rng``     RNG created or used without an explicit seed
@@ -49,6 +49,13 @@ Twelve rules tuned to this repository's correctness invariants:
                      ``record_incident``/``record_resolve`` calls —
                      bypassing the dedup/suppression layer (route
                      events through ``AlertManager.observe`` instead)
+``unbounded-time-range``  a ``TsdbQuery`` constructed with an end bound
+                     that constant-folds to the open-axis sentinel
+                     (``>= 2**31 - 1``) outside tests/benchmarks: such
+                     a query scans the whole time axis, defeating the
+                     lifecycle tier's rollup routing and retention
+                     floors (bound the range, or suppress with a
+                     justification where open-ended is the point)
 ===================  ===================================================
 
 Each rule is registered with :func:`repro.analysis.lint.register` and
@@ -74,6 +81,7 @@ __all__ = [
     "RogueRegistryRule",
     "UnboundedCacheRule",
     "UnboundedRetryRule",
+    "UnboundedTimeRangeRule",
     "UnseededRngRule",
     "UnsuppressedAlertEmitRule",
 ]
@@ -1099,4 +1107,134 @@ class UnsuppressedAlertEmitRule(Rule):
                 and keyword.value.value.startswith("alert.")
             ):
                 return keyword.value.value
+        return None
+
+
+# ----------------------------------------------------------------------
+@register
+class UnboundedTimeRangeRule(Rule):
+    """A ``TsdbQuery`` whose end bound folds to the open-axis sentinel.
+
+    An end of ``2**31 - 1`` (or anything at/above it) means "scan the
+    whole time axis": the query can never be served from a rollup tier
+    (no tier watermark covers an open end), pins every retention floor
+    check, and its cost grows without bound as the fleet's history
+    accumulates — exactly the super-linear degradation E18 measures.
+    Dashboards and engines must bound their ranges; the few deliberate
+    open-axis scans (self-telemetry panels that ride the simulator
+    clock) carry a per-line suppression with a justification.
+
+    The end argument is constant-folded through int literals, ``+ - *
+    ** //`` arithmetic, module-level and function-local ``NAME =``
+    assignments, and both branches of conditional expressions (if
+    *either* branch is open, the site can scan the whole axis).  Ends
+    that do not fold — call parameters, attribute loads — are assumed
+    bounded by the caller.  Tests, benchmarks, and examples (outside
+    the package tree) and the ``repro.bench`` harness are exempt.
+    """
+
+    id = "unbounded-time-range"
+    summary = "TsdbQuery constructed with an effectively unbounded end"
+
+    #: Smallest end value treated as "the whole time axis".
+    _OPEN_END = 2**31 - 1
+
+    def applies_to(self, source: SourceFile) -> bool:
+        parts = source.path.parts
+        return "repro" in parts and "bench" not in parts
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        env = self._environment(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None or dotted.rpartition(".")[2] != "TsdbQuery":
+                continue
+            end = self._end_argument(node)
+            if end is None:
+                continue
+            value = self._fold(end, env)
+            if value is not None and value >= self._OPEN_END:
+                yield self.finding(
+                    source,
+                    node,
+                    f"query end folds to {value} (>= 2**31-1: the whole "
+                    f"time axis) — bound the range so rollup routing and "
+                    f"retention floors apply, or suppress with a "
+                    f"justification",
+                )
+
+    @staticmethod
+    def _end_argument(node: ast.Call) -> Optional[ast.expr]:
+        """The expression bound to ``end`` (keyword or third positional)."""
+        for keyword in node.keywords:
+            if keyword.arg == "end":
+                return keyword.value
+        if len(node.args) >= 3 and not any(
+            isinstance(arg, ast.Starred) for arg in node.args[:3]
+        ):
+            return node.args[2]
+        return None
+
+    def _environment(self, tree: ast.AST) -> Dict[str, int]:
+        """Foldable ``NAME = <int expr>`` bindings, module + function scope.
+
+        Two passes so a module constant defined before a function still
+        resolves inside it regardless of walk order; a name bound more
+        than once keeps its *largest* folded value (conservative: the
+        rule asks "can this end be open?", not "must it be").
+        """
+        env: Dict[str, int] = {}
+        for _ in range(2):
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign):
+                    if len(node.targets) != 1 or not isinstance(
+                        node.targets[0], ast.Name
+                    ):
+                        continue
+                    name, value_node = node.targets[0].id, node.value
+                elif isinstance(node, ast.AnnAssign):
+                    if not isinstance(node.target, ast.Name) or node.value is None:
+                        continue
+                    name, value_node = node.target.id, node.value
+                else:
+                    continue
+                value = self._fold(value_node, env)
+                if value is not None:
+                    env[name] = max(value, env.get(name, value))
+        return env
+
+    def _fold(self, node: ast.expr, env: Dict[str, int]) -> Optional[int]:
+        """Largest int the expression can evaluate to, or ``None``."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value, bool):
+                return node.value
+            return None
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            value = self._fold(node.operand, env)
+            return None if value is None else -value
+        if isinstance(node, ast.IfExp):
+            branches = [self._fold(node.body, env), self._fold(node.orelse, env)]
+            known = [b for b in branches if b is not None]
+            return max(known) if known else None
+        if isinstance(node, ast.BinOp):
+            left = self._fold(node.left, env)
+            right = self._fold(node.right, env)
+            if left is None or right is None:
+                return None
+            op = node.op
+            if isinstance(op, ast.Add):
+                return left + right
+            if isinstance(op, ast.Sub):
+                return left - right
+            if isinstance(op, ast.Mult):
+                return left * right
+            if isinstance(op, ast.Pow) and 0 <= right <= 64:
+                return left**right
+            if isinstance(op, ast.FloorDiv) and right != 0:
+                return left // right
+            return None
         return None

@@ -1,4 +1,4 @@
-"""Experiment definitions E1–E17 (see DESIGN.md §4 for the index).
+"""Experiment definitions E1–E18 (see DESIGN.md §4 for the index).
 
 Each experiment regenerates one paper artifact — a figure, a table, or
 a key quantitative claim — and returns an
@@ -35,7 +35,14 @@ from ..serve import (
     result_etag,
 )
 from ..simdata.generator import FleetConfig, FleetGenerator
-from ..simdata.workload import ingest_stream
+from ..simdata.workload import (
+    METRIC as FLEET_METRIC,
+    ingest_stream,
+    sensor_tag,
+    soak_stream,
+    soak_units,
+    unit_tag,
+)
 from ..sparklet.context import SparkletContext
 from ..sparklet.storage import BlockStore
 from ..tsdb.ingest import ClusterConfig, IngestionDriver, IngestionReport, TsdbCluster, build_cluster
@@ -1806,6 +1813,342 @@ def e17_streaming_alerting(
             "reduction over naive per-sensor firing, with every publish channel "
             "conserving points end to end",
             "detection numbers are deterministic per seed; only wall-clock varies",
+        ],
+        numbers=numbers,
+    )
+
+
+# ----------------------------------------------------------------------
+# E18: data lifecycle — rollup tiers under a fleet-growth soak
+# ----------------------------------------------------------------------
+E18_FLAT_FACTOR = 2.0
+E18_SUPERLINEAR_MARGIN = 1.2
+E18_RAW_REDUCTION_FLOOR = 5.0
+
+
+def _e18_cells(engine, query: TsdbQuery) -> int:
+    """Cells scanned by one run of ``query`` (the deterministic cost proxy)."""
+    before = engine.scan_cells
+    engine.run(query)
+    return engine.scan_cells - before
+
+
+def _e18_long(horizon: int) -> TsdbQuery:
+    """The long-horizon dashboard: fleet min at 1 h resolution, full history."""
+    return TsdbQuery(
+        FLEET_METRIC,
+        0,
+        horizon,
+        aggregator="min",
+        downsample_window=3600,
+        downsample_aggregator="min",
+    )
+
+
+def _e18_short(horizon: int) -> TsdbQuery:
+    """The short-horizon baseline: last hour at 1 m resolution (raw-served)."""
+    return TsdbQuery(
+        FLEET_METRIC,
+        horizon - 3600,
+        horizon,
+        aggregator="min",
+        downsample_window=60,
+        downsample_aggregator="min",
+    )
+
+
+@REGISTRY.register(
+    "E18", "lifecycle — rollup tiers keep long-horizon dashboards flat under soak"
+)
+def e18_lifecycle_soak(
+    start_units: int = 100,
+    end_units: int = 10_000,
+    duration: int = 6 * 3600,
+    cadence: int = 60,
+    raw_ttl: int = 3 * 3600,
+    maintenance_every: int = 1800,
+    query_reps: int = 5,
+    quick: bool = False,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The lifecycle soak: a geometrically growing fleet vs a fixed dashboard.
+
+    :func:`~repro.simdata.workload.soak_stream` grows the fleet from
+    ``start_units`` to ``end_units`` (diurnal values, periodic ingest
+    bursts, sensor churn) while the lifecycle tier materializes 1 h
+    rollups and expires raw cells past ``raw_ttl``.  At three
+    checkpoints the same two dashboard queries are replayed:
+
+    * **long horizon** — fleet-wide min at 1 h resolution over the whole
+      soak history, tier-routed (and pooled once raw expires);
+    * **short horizon** — the last hour at 1 m resolution, raw-served:
+      the cost an operator already accepts for a live view.
+
+    The cost proxy is cells scanned (deterministic per seed; wall-clock
+    rows are recorded but not gated).  The gates: the raw-only ablation
+    of the long query grows super-linearly in time as the fleet grows,
+    while the tier-routed plan stays within ``E18_FLAT_FACTOR`` of the
+    short-horizon baseline; tier answers over unexpired raw are
+    bit-identical; out-of-order writes injected mid-soak are
+    re-materialized; and conservation holds through TTL expiry.
+    """
+    from ..lifecycle import LifecyclePolicy, TierSpec
+
+    if quick:
+        start_units, end_units = 10, 120
+        duration, raw_ttl = 4 * 3600, 2 * 3600
+        query_reps = 3
+
+    cluster = build_cluster(
+        ClusterConfig(
+            n_nodes=2,
+            salt_buckets=4,
+            retain_data=True,
+            # A single 1 h tier: at a 60 s soak cadence a 1 m tier would
+            # hold as many windows as raw holds points — pure overhead.
+            lifecycle=LifecyclePolicy(tiers=(TierSpec("1h", 3600),), raw_ttl=raw_ttl),
+        )
+    )
+    lm = cluster.lifecycle
+    routed = cluster.query_engine()
+    raw_engine = cluster.query_engine()
+    raw_engine.lifecycle = None  # ablation: same storage, no tier routing
+
+    checkpoint_rows: List[Dict[str, float]] = []
+
+    def measure() -> None:
+        horizon = lm.rollup.watermark(FLEET_METRIC, "1h")
+        hwm = lm.rollup.high_water(FLEET_METRIC)
+        long_q, short_q = _e18_long(horizon), _e18_short(horizon)
+        long_walls: List[float] = []
+        short_walls: List[float] = []
+        routed_cells = short_cells = 0
+        for _ in range(query_reps):
+            t0 = time.perf_counter()
+            routed_cells = _e18_cells(routed, long_q)
+            long_walls.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            short_cells = _e18_cells(routed, short_q)
+            short_walls.append(time.perf_counter() - t0)
+        raw_cells = _e18_cells(raw_engine, long_q)
+        checkpoint_rows.append(
+            {
+                "end": float(hwm + 1),
+                "units": float(
+                    soak_units(min(hwm, duration), duration, start_units, end_units)
+                ),
+                "raw_cells": float(raw_cells),
+                "routed_cells": float(routed_cells),
+                "short_cells": float(short_cells),
+                "long_p99_ms": float(np.percentile(long_walls, 99) * 1e3),
+                "short_p99_ms": float(np.percentile(short_walls, 99) * 1e3),
+            }
+        )
+
+    checkpoints = [duration // 3, 2 * duration // 3]
+    points = 0
+    passes = 0
+    late_writes = 0
+    next_maintenance = maintenance_every
+    ci = 0
+    wall0 = time.perf_counter()
+    for batch in soak_stream(
+        start_units=start_units,
+        end_units=end_units,
+        n_sensors=2,
+        duration=duration,
+        cadence=cadence,
+        seed=seed,
+    ):
+        cluster.direct_put(batch)
+        points += len(batch)
+        hwm = lm.rollup.high_water(FLEET_METRIC)
+        while hwm + 1 >= next_maintenance:
+            lm.run_maintenance()
+            passes += 1
+            next_maintenance += maintenance_every
+        if ci < len(checkpoints) and hwm >= checkpoints[ci]:
+            lm.run_maintenance(purge=True)
+            passes += 1
+            measure()
+            if ci == 1:
+                # Out-of-order writes behind the 1 h watermark: off the
+                # 60 s grid and the burst offsets, so no (series, ts)
+                # pair collides with the stream (a duplicate would
+                # overwrite, breaking the point accounting).
+                horizon = lm.rollup.watermark(FLEET_METRIC, "1h")
+                late = [
+                    DataPoint.make(
+                        FLEET_METRIC,
+                        horizon - off,
+                        500.0,
+                        {"unit": unit_tag(0), "sensor": sensor_tag(0)},
+                    )
+                    for off in (1801, 1861, 1921)
+                ]
+                cluster.direct_put(late)
+                late_writes = len(late)
+            ci += 1
+    ingest_wall = time.perf_counter() - wall0
+    lm.run_maintenance(purge=True)
+    passes += 1
+    measure()
+
+    # Bit-identity probes: every pair combo over the unexpired window.
+    floor = lm.retention.raw_floor(FLEET_METRIC)
+    horizon = lm.rollup.watermark(FLEET_METRIC, "1h")
+    probes = identical_probes = mismatches = 0
+    for agg, ds in (("min", "min"), ("max", "max"), ("count", "sum")):
+        probe = TsdbQuery(
+            FLEET_METRIC,
+            floor,
+            horizon,
+            aggregator=agg,
+            downsample_window=3600,
+            downsample_aggregator=ds,
+        )
+        probes += 1
+        if lm.plan(probe, record=False).mode == "identical":
+            identical_probes += 1
+        got, want = routed.run(probe), raw_engine.run(probe)
+        exact = len(got) == len(want) and all(
+            a.tags == b.tags
+            and np.array_equal(a.timestamps, b.timestamps)
+            and np.array_equal(a.values, b.values, equal_nan=True)
+            for a, b in zip(got, want)
+        )
+        if not exact:
+            mismatches += 1
+
+    conservation = lm.verify_conservation(FLEET_METRIC)
+    backfill_windows = lm.metrics.counter("lifecycle.backfill.windows").get()
+
+    t1, t2, final = checkpoint_rows[0], checkpoint_rows[1], checkpoint_rows[2]
+    raw_growth = t2["raw_cells"] / t1["raw_cells"]
+    time_growth = t2["end"] / t1["end"]
+    flat_ratio = final["routed_cells"] / final["short_cells"]
+    raw_reduction = final["raw_cells"] / final["routed_cells"]
+
+    growth_table = Table(
+        f"Soak growth ({start_units} -> {end_units} units x 2 sensors, "
+        f"{duration // 3600} h at {cadence} s cadence)",
+        [
+            "checkpoint",
+            "sim hours",
+            "units",
+            "raw cells (ablation)",
+            "tier cells (routed)",
+            "last-hour cells",
+        ],
+    )
+    for i, row in enumerate(checkpoint_rows, start=1):
+        growth_table.add_row(
+            f"T{i}",
+            f"{row['end'] / 3600.0:.1f}",
+            int(row["units"]),
+            int(row["raw_cells"]),
+            int(row["routed_cells"]),
+            int(row["short_cells"]),
+        )
+
+    gate_table = Table("Lifecycle gates (deterministic per seed)", ["gate", "measured", "bound"])
+    gate_table.add_row(
+        "long-horizon cost vs short baseline",
+        f"{flat_ratio:.3f}x",
+        f"<= {E18_FLAT_FACTOR:.1f}x",
+    )
+    gate_table.add_row(
+        "raw ablation growth T1 -> T2",
+        f"{raw_growth:.2f}x cells in {time_growth:.2f}x time",
+        f"> {E18_SUPERLINEAR_MARGIN:.2f}x time",
+    )
+    gate_table.add_row(
+        "tier scan reduction at T3",
+        f"{raw_reduction:.1f}x",
+        f">= {E18_RAW_REDUCTION_FLOOR:.1f}x",
+    )
+    gate_table.add_row(
+        "bit-identity vs raw (unexpired)",
+        f"{probes - mismatches}/{probes} probes exact",
+        "0 mismatches",
+    )
+    gate_table.add_row(
+        "conservation through expiry",
+        "ok" if conservation["ok"] else "VIOLATED",
+        f"ok ({conservation['expired_raw']} raw cells expired)",
+    )
+    gate_table.add_row(
+        "late-write backfill", f"{backfill_windows} windows re-materialized", ">= 1"
+    )
+
+    wall_table = Table(
+        "Soak ingest and query wall-clock (recorded, not gated)",
+        [
+            "points",
+            "ingest wall",
+            "points/s",
+            "maintenance passes",
+            "long p99",
+            "short p99",
+        ],
+    )
+    wall_table.add_row(
+        points,
+        f"{ingest_wall:.1f}s",
+        format_rate(points / ingest_wall),
+        passes,
+        f"{final['long_p99_ms']:.1f}ms",
+        f"{final['short_p99_ms']:.1f}ms",
+    )
+
+    numbers: Dict[str, float] = {
+        "start_units": float(start_units),
+        "end_units": float(end_units),
+        "final_units": final["units"],
+        "duration_s": float(duration),
+        "raw_ttl_s": float(raw_ttl),
+        "points_ingested": float(points),
+        "maintenance_passes": float(passes),
+        "raw_cells_t1": t1["raw_cells"],
+        "raw_cells_t2": t2["raw_cells"],
+        "raw_cells_final": final["raw_cells"],
+        "routed_cells_final": final["routed_cells"],
+        "short_cells_final": final["short_cells"],
+        "raw_growth": raw_growth,
+        "time_growth": time_growth,
+        "superlinear_margin": E18_SUPERLINEAR_MARGIN,
+        "flat_ratio": flat_ratio,
+        "flat_factor": E18_FLAT_FACTOR,
+        "raw_reduction": raw_reduction,
+        "reduction_floor": E18_RAW_REDUCTION_FLOOR,
+        "bitident_probes": float(probes),
+        "bitident_identical_plans": float(identical_probes),
+        "bitident_mismatches": float(mismatches),
+        "conservation_ok": 1.0 if conservation["ok"] else 0.0,
+        "ingested": float(conservation["ingested"]),
+        "live_raw": float(conservation["live_raw"]),
+        "expired_raw": float(conservation["expired_raw"]),
+        "too_late": float(conservation["too_late"]),
+        "late_writes": float(late_writes),
+        "backfill_windows": float(backfill_windows),
+        "ingest_wall_s": ingest_wall,
+        "ingest_rate": points / ingest_wall,
+        "long_p99_ms": final["long_p99_ms"],
+        "short_p99_ms": final["short_p99_ms"],
+    }
+    return ExperimentResult(
+        "E18",
+        "rollup tiers hold long-horizon query cost flat while raw scans grow with the fleet",
+        [growth_table, gate_table, wall_table],
+        notes=[
+            "expected shape: the raw-only ablation's full-history scan grows "
+            "super-linearly in time (the fleet grows geometrically) while the "
+            f"tier-routed plan stays within {E18_FLAT_FACTOR:.0f}x of the "
+            "last-hour baseline; tier answers over unexpired raw are "
+            "bit-identical; conservation holds through TTL expiry and "
+            "late-write backfill",
+            "cell counts and conservation are deterministic per seed; "
+            "wall-clock rows vary run to run",
         ],
         numbers=numbers,
     )

@@ -82,6 +82,11 @@ class Injector:
                 raise ValueError(
                     f"{event.action!r} needs a replicated cluster (replication_factor >= 2)"
                 )
+        elif event.action == "lifecycle_expire":
+            if self.cluster.lifecycle is None:
+                raise ValueError(
+                    "'lifecycle_expire' needs a cluster with a lifecycle policy"
+                )
 
     # ------------------------------------------------------------------
     # firing
@@ -121,6 +126,10 @@ class Injector:
             self.cluster.replication.stall_followers(event.target)
         elif action == "replica_resume":
             self.cluster.replication.resume_followers(event.target)
+        elif action == "lifecycle_expire":
+            # Instantaneous: rollup advance + TTL expiry + purge, fired
+            # mid-fault to probe the retention conservation invariant.
+            self.cluster.lifecycle.run_maintenance(purge=True)
         elif action == "overload_burst":
             self._start_burst(event, index)
         elif action == "random_crashes":

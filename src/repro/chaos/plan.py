@@ -36,6 +36,12 @@ Supported actions
     Freeze the follower apply loops hosted on one RegionServer — its
     replicas stop draining shipped entries entirely until resumed
     (degraded, not down).
+``lifecycle_expire``
+    Fire a full lifecycle maintenance pass (rollup advance + TTL
+    expiry + tombstone purge) at an adversarial moment — e.g. between
+    an ``rs_crash`` and its recovery — to probe the retention
+    conservation invariant under partial availability.  Instantaneous;
+    needs no target (the cluster's lifecycle manager is the target).
 
 Events that model an outage (``tsd_crash``, ``rs_crash``,
 ``partition``, ``slow_link``, ``wal_lag``, ``replica_stall``) accept a
@@ -64,6 +70,7 @@ RECOVERY_ACTIONS = {
 ACTIONS = frozenset(RECOVERY_ACTIONS) | frozenset(RECOVERY_ACTIONS.values()) | {
     "overload_burst",
     "random_crashes",
+    "lifecycle_expire",
 }
 
 
@@ -94,7 +101,7 @@ class FaultEvent:
             raise ValueError("event time must be non-negative")
         if self.action not in ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
-        if not self.target and self.action != "overload_burst":
+        if not self.target and self.action not in ("overload_burst", "lifecycle_expire"):
             raise ValueError(f"action {self.action!r} needs a target")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration must be positive")

@@ -230,6 +230,31 @@ class HMaster:
         cells.sort(key=lambda c: c.key)
         return cells
 
+    def direct_delete_range(
+        self, table: str, start_row: bytes, end_row: bytes, ts: float
+    ) -> int:
+        """Administrative range delete: tombstone ``[start_row, end_row)``.
+
+        The retention manager's expiry path.  Applies a range tombstone
+        (at logical write time ``ts``) to every overlapping region and
+        mirrors it to follower replicas — deletes bypass the WAL stream
+        like :meth:`~repro.tsdb.ingest.TsdbCluster.direct_put` bulk
+        loads do, so followers can never resurface expired cells on a
+        timeline read.  Returns the number of visible cells masked
+        across primaries.
+        """
+        masked = 0
+        for assignment in self._assignments(table):
+            info = assignment.region.info
+            if end_row and info.start_key and info.start_key >= end_row:
+                continue
+            if info.end_key and info.end_key <= start_row:
+                continue
+            masked += assignment.region.delete_range(start_row, end_row, ts)
+            if self.replication is not None:
+                self.replication.mirror_delete(info.name, start_row, end_row, ts)
+        return masked
+
     def direct_scan_consistent(
         self,
         table: str,

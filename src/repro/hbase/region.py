@@ -10,6 +10,16 @@ compaction merges store files back into one.
 The data plane is real — cells written here are the cells the TSDB
 query engine later reads — while the *timing* of RPCs is modelled by
 the RegionServer's service loop, not here.
+
+Deletes are modelled as HBase-style *range tombstones*: a tombstone
+``(start_row, end_row, ts)`` masks every cell in the row range whose
+write timestamp is ``<= ts`` — a later re-write of the same cell wins
+over the tombstone, exactly like newest-wins between versions.  Masked
+cells stay on disk until the next :meth:`Region.compact`, which purges
+them physically and retires the tombstones.  Tombstones are treated as
+durable region metadata (as if WAL-persisted at write time), so a
+RegionServer crash loses unflushed *data* but never an acknowledged
+delete.
 """
 
 from __future__ import annotations
@@ -119,9 +129,11 @@ class Region:
         self.retain_data = retain_data
         self._memstore: Dict[Tuple[bytes, bytes], Cell] = {}
         self._store_files: List[StoreFile] = []
+        self._tombstones: List[Tuple[bytes, bytes, float]] = []
         self.writes = 0
         self.flushes = 0
         self.compactions = 0
+        self.deletes = 0
 
     # ------------------------------------------------------------------
     # write path
@@ -188,9 +200,41 @@ class Region:
         self._memstore.clear()
         return lost
 
+    # ------------------------------------------------------------------
+    # delete path (range tombstones)
+    # ------------------------------------------------------------------
+    def delete_range(self, start_row: bytes, end_row: bytes, ts: float) -> int:
+        """Mask every cell in ``[start_row, end_row)`` written at or before ``ts``.
+
+        Returns the number of currently-visible cells the tombstone
+        masks (for expiry accounting).  The mask is logical until the
+        next :meth:`compact` purges the bytes; a re-write with a newer
+        timestamp resurfaces the cell, which is what lets the lifecycle
+        tier detect and re-drop too-late backfill explicitly.
+        """
+        doomed = sum(1 for c in self.scan(start_row, end_row) if c.ts <= ts)
+        self._tombstones.append((start_row, end_row, ts))
+        self.deletes += 1
+        return doomed
+
+    def _masked(self, cell: Cell) -> bool:
+        for lo, hi, ts in self._tombstones:
+            if cell.row >= lo and (not hi or cell.row < hi) and cell.ts <= ts:
+                return True
+        return False
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._tombstones)
+
     def compact(self) -> None:
-        """Minor compaction: merge all store files into one, newest-wins."""
-        if len(self._store_files) <= 1:
+        """Minor compaction: merge store files into one, newest-wins.
+
+        Also the physical delete point: cells masked by a tombstone are
+        dropped from the merged file *and* the memstore, after which the
+        tombstones are retired.
+        """
+        if len(self._store_files) <= 1 and not self._tombstones:
             return
         merged: Dict[Tuple[bytes, bytes], Cell] = {}
         for sf in self._store_files:  # oldest first; later files overwrite
@@ -198,19 +242,27 @@ class Region:
                 existing = merged.get(cell.key)
                 if existing is None or cell.ts >= existing.ts:
                     merged[cell.key] = cell
-        self._store_files = [StoreFile(list(merged.values()))]
+        if self._tombstones:
+            merged = {k: c for k, c in merged.items() if not self._masked(c)}
+            self._memstore = {
+                k: c for k, c in self._memstore.items() if not self._masked(c)
+            }
+            self._tombstones.clear()
+        self._store_files = [StoreFile(list(merged.values()))] if merged else []
         self.compactions += 1
 
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def get(self, row: bytes, qualifier: bytes) -> Optional[Cell]:
-        """Point lookup, newest version wins."""
+        """Point lookup, newest version wins; tombstoned cells are invisible."""
         best = self._memstore.get((row, qualifier))
         for sf in reversed(self._store_files):
             cell = sf.get(row, qualifier)
             if cell is not None and (best is None or cell.ts > best.ts):
                 best = cell
+        if best is not None and self._tombstones and self._masked(best):
+            return None
         return best
 
     def scan(self, start_row: bytes = b"", end_row: bytes = b"") -> List[Cell]:
@@ -235,7 +287,10 @@ class Region:
             existing = merged.get(key)
             if existing is None or cell.ts >= existing.ts:
                 merged[key] = cell
-        return sorted(merged.values(), key=lambda c: c.key)
+        cells = merged.values()
+        if self._tombstones:
+            cells = [c for c in cells if not self._masked(c)]
+        return sorted(cells, key=lambda c: c.key)
 
     # ------------------------------------------------------------------
     # split support

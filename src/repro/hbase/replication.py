@@ -345,6 +345,21 @@ class ReplicationCoordinator:
         for follower in rset.followers:
             follower.region.put_block(cells)
 
+    def mirror_delete(
+        self, region_name: str, start_row: bytes, end_row: bytes, ts: float
+    ) -> None:
+        """Apply a range tombstone to every follower outside the WAL stream.
+
+        The delete-side counterpart of :meth:`mirror`: retention expiry
+        writes into primaries directly, so followers must be tombstoned
+        explicitly or timeline reads would resurface expired cells.
+        """
+        rset = self._sets.get(region_name)
+        if rset is None:
+            return
+        for follower in rset.followers:
+            follower.region.delete_range(start_row, end_row, ts)
+
     def best_follower(self, region_name: str) -> Optional[Tuple[Region, float]]:
         """Most-caught-up live follower and its staleness bound, if any."""
         rset = self._sets.get(region_name)

@@ -1,0 +1,141 @@
+"""Tier and retention policy definitions for the data lifecycle.
+
+A *tier* is a materialized downsample resolution (1m/1h by default).
+Each tier stores four first-class column series per raw series —
+``rollup.count.<label>.<metric>``, ``rollup.sum...``, ``rollup.min...``
+and ``rollup.max...`` — one point per tier window, at the window start.
+Keeping count/sum/min/max (rather than a single pre-aggregated value)
+is what lets re-aggregation stay *exact*: an average over any span is
+``sum(sum)/sum(count)``, and min/max compose by selection, so coarser
+answers never accumulate rounding that the raw path would not.
+
+The policy also carries TTLs: ``raw_ttl`` bounds how long raw cells
+live (``None`` = forever), each tier can carry its own ``ttl``.  The
+retention manager never lets the raw floor overtake a tier watermark,
+so a raw row-hour is only expired once every tier has materialized it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "ROLLUP_COLUMNS",
+    "ROLLUP_PREFIX",
+    "LifecyclePolicy",
+    "TierSpec",
+    "parse_rollup_metric",
+    "rollup_metric",
+]
+
+#: Metric-name prefix marking materialized rollup series.
+ROLLUP_PREFIX = "rollup."
+
+#: The column series each tier stores per raw series.
+ROLLUP_COLUMNS: Tuple[str, ...] = ("count", "sum", "min", "max")
+
+
+def rollup_metric(column: str, label: str, metric: str) -> str:
+    """The first-class metric name of one rollup column series."""
+    if column not in ROLLUP_COLUMNS:
+        raise ValueError(f"unknown rollup column {column!r}")
+    return f"{ROLLUP_PREFIX}{column}.{label}.{metric}"
+
+
+def parse_rollup_metric(name: str) -> Optional[Tuple[str, str, str]]:
+    """Inverse of :func:`rollup_metric`: ``(column, label, base_metric)``.
+
+    Returns ``None`` for metrics outside the rollup namespace.
+    """
+    if not name.startswith(ROLLUP_PREFIX):
+        return None
+    rest = name[len(ROLLUP_PREFIX):]
+    parts = rest.split(".", 2)
+    if len(parts) != 3 or parts[0] not in ROLLUP_COLUMNS:
+        return None
+    return (parts[0], parts[1], parts[2])
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One materialized downsample tier.
+
+    ``resolution`` is the tier window in seconds; ``ttl`` bounds how
+    long this tier's own points are retained (``None`` = forever),
+    measured against the data high-water mark like ``raw_ttl``.
+    """
+
+    label: str
+    resolution: int
+    ttl: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.label or "." in self.label:
+            raise ValueError("tier label must be non-empty and dot-free")
+        if self.resolution < 1:
+            raise ValueError("tier resolution must be >= 1 second")
+        if self.ttl is not None and self.ttl < self.resolution:
+            raise ValueError("tier ttl must cover at least one window")
+
+
+def _default_tiers() -> Tuple[TierSpec, ...]:
+    return (TierSpec("1m", 60), TierSpec("1h", 3600))
+
+
+@dataclass(frozen=True)
+class LifecyclePolicy:
+    """Knobs for the lifecycle tier.
+
+    ``metrics`` restricts management to an explicit set; ``None`` means
+    every written metric outside ``excluded_prefixes`` is managed as it
+    is first seen.  ``base_resolution`` is the native cadence of the
+    raw data in seconds — queries downsampling *finer* than it cannot
+    be satisfied by any tier (or by raw) and are surfaced as
+    ``lifecycle.tier_miss``.  ``hot_window_points`` is the ingest
+    cadence of incremental materialization: rollups advance after that
+    many managed raw points land, so the hot window trails ingest by a
+    bounded amount rather than waiting for the next compaction.
+    """
+
+    tiers: Tuple[TierSpec, ...] = field(default_factory=_default_tiers)
+    raw_ttl: Optional[int] = None
+    base_resolution: int = 1
+    metrics: Optional[Tuple[str, ...]] = None
+    excluded_prefixes: Tuple[str, ...] = (ROLLUP_PREFIX,)
+    hot_window_points: int = 5000
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("policy needs at least one tier")
+        resolutions = [t.resolution for t in self.tiers]
+        if sorted(set(resolutions)) != resolutions:
+            raise ValueError("tiers must have unique, ascending resolutions")
+        if len({t.label for t in self.tiers}) != len(self.tiers):
+            raise ValueError("tier labels must be unique")
+        if self.base_resolution < 1:
+            raise ValueError("base_resolution must be >= 1 second")
+        if self.raw_ttl is not None and self.raw_ttl < 1:
+            raise ValueError("raw_ttl must be positive")
+        if self.hot_window_points < 1:
+            raise ValueError("hot_window_points must be >= 1")
+        if ROLLUP_PREFIX not in self.excluded_prefixes:
+            raise ValueError("rollup series must stay excluded from management")
+
+    def manages(self, metric: str) -> bool:
+        """Whether ``metric`` is lifecycle-managed raw data."""
+        if any(metric.startswith(p) for p in self.excluded_prefixes):
+            return False
+        if self.metrics is not None:
+            return metric in self.metrics
+        return True
+
+    def tier(self, label: str) -> TierSpec:
+        for spec in self.tiers:
+            if spec.label == label:
+                return spec
+        raise KeyError(f"no tier labelled {label!r}")
+
+    def coarsest_first(self) -> Tuple[TierSpec, ...]:
+        """Tiers ordered coarse to fine (the routing preference order)."""
+        return tuple(reversed(self.tiers))

@@ -76,15 +76,22 @@ class CanonicalQuery:
     aggregator: str
     downsample: Optional[Tuple[int, str]]
     rate: bool
+    #: Serving source ("raw", a rollup tier label, or "pooled:<label>").
+    #: Keyed so an answer computed from one source can never be served
+    #: for a query the planner would now route elsewhere — tier
+    #: coverage moves with watermarks and retention floors.
+    tier: str = "raw"
 
 
-def canonical_key(query: TsdbQuery) -> CanonicalQuery:
+def canonical_key(query: TsdbQuery, tier: str = "raw") -> CanonicalQuery:
     """Canonicalize a query into its cache key.
 
     Total on every valid :class:`TsdbQuery`, and collision-free on
     semantics: two queries share a key iff the engine must return
     bit-identical results for them (see the module docstring for the
     individual normalizations and why each preserves exactness).
+    ``tier`` stamps the serving source the planner chose, so tier-served
+    and raw-served results live under distinct keys.
     """
     filters = tuple(sorted(query.tag_filters.items()))
     exact = {k for k, v in filters if v != WILDCARD}
@@ -115,6 +122,7 @@ def canonical_key(query: TsdbQuery) -> CanonicalQuery:
         aggregator=query.aggregator,
         downsample=downsample,
         rate=query.rate,
+        tier=tier,
     )
 
 
@@ -268,6 +276,33 @@ class ResultCache:
             del self._cache[key]
         self.invalidations += len(doomed)
         return len(doomed)
+
+    def invalidate_range(self, metric: str, t_min: int, t_max: int) -> int:
+        """Evict every entry of ``metric`` overlapping ``[t_min, t_max]``,
+        regardless of tag filters.
+
+        The retention path's eviction: expiry removes *every* series of
+        a metric in the range, so tag-filter matching (which lets
+        provably unaffected entries survive a write touch) does not
+        apply.  Returns the number of entries evicted.
+        """
+        doomed = [
+            key
+            for key, entry in self._cache.items()
+            if key.metric == metric
+            and self._window_overlaps(key, t_min, t_max)
+        ]
+        for key in doomed:
+            del self._cache[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    @staticmethod
+    def _window_overlaps(key: CanonicalQuery, t_min: int, t_max: int) -> bool:
+        grid = key.downsample[0] if key.downsample is not None else 1
+        start = key.window[0] * grid + key.window[1]
+        end = key.window[2] * grid + key.window[3]
+        return not (t_max < start or t_min >= end)
 
     @staticmethod
     def _overlaps(

@@ -174,6 +174,8 @@ class QueryGateway:
         self._staleness = self.metrics.histogram("serve.staleness")
         if cluster is not None:
             cluster.add_write_listener(self.notify_writes)
+            if cluster.lifecycle is not None:
+                cluster.lifecycle.add_expiry_listener(self.notify_expiry)
 
     # ------------------------------------------------------------------
     # engine-compatible surface (Dashboard/FleetAnalytics drop-in)
@@ -210,7 +212,7 @@ class QueryGateway:
         self._rate_check(client_id, now)
         if not self.config.cache_enabled:
             return self._execute_sync(query, client_id, now, if_none_match)
-        key = canonical_key(query)
+        key = self._cache_key(query)
         lookup = self.cache.get(key, now)
         if lookup.state == "fresh":
             return self._respond_cached("hit", lookup, if_none_match, 0.0)
@@ -260,7 +262,7 @@ class QueryGateway:
             return
         key: Optional[CanonicalQuery] = None
         if self.config.cache_enabled:
-            key = canonical_key(query)
+            key = self._cache_key(query)
             lookup = self.cache.get(key, now)
             if lookup.state == "fresh":
                 self._complete_cached("hit", lookup, if_none_match, on_done)
@@ -307,9 +309,32 @@ class QueryGateway:
             # Strict comparison in expire_due: fire just past the deadline.
             self.sim.schedule(abs_deadline - now + 1e-9, self._expire_tick)
 
+    def _cache_key(self, query: TsdbQuery) -> CanonicalQuery:
+        """Tier-aware canonical key: the planner's serving source is part
+        of the key, so a raw-served answer is never replayed for a query
+        the planner now routes to a rollup tier (or vice versa)."""
+        route_tier = getattr(self.engine, "route_tier", None)
+        tier = route_tier(query) if route_tier is not None else "raw"
+        return canonical_key(query, tier)
+
     # ------------------------------------------------------------------
     # write-through invalidation
     # ------------------------------------------------------------------
+    def notify_expiry(self, spans) -> None:
+        """Evict cache entries over expired (or re-rolled) time ranges.
+
+        Wired to the lifecycle manager's expiry notifications.  Expiry
+        drops every series of a metric in the range, so eviction skips
+        tag-filter matching; the write epoch is bumped so in-flight
+        executions that straddle the expiry are served but not cached.
+        """
+        self._write_epoch += 1
+        evicted = 0
+        for metric, start, end in spans:
+            evicted += self.cache.invalidate_range(metric, start, end - 1)
+        if evicted:
+            self.metrics.counter("serve.invalidations").inc(evicted)
+
     def notify_writes(self, points: Iterable["DataPoint"]) -> None:
         """Evict cache entries overlapping freshly written points.
 

@@ -142,7 +142,7 @@ class RowCompactor:
     OpenTSDB's does).
     """
 
-    def __init__(self, master: HMaster, table: str, write_ts=None) -> None:
+    def __init__(self, master: HMaster, table: str, write_ts=None, lifecycle=None) -> None:
         self.master = master
         self.table = table
         # The deployment's logical write clock: the rewritten blob must
@@ -150,11 +150,21 @@ class RowCompactor:
         # shadows them (and only them) at read time.  Fallback: max+1,
         # which is correct when no concurrent writers share the table.
         self._write_ts = write_ts
+        # Optional LifecycleManager: compaction-integrated expiry.
+        self._lifecycle = lifecycle
         self.rows_compacted = 0
         self.cells_merged = 0
 
     def run(self) -> int:
-        """Compact every eligible row; returns the number of rows rewritten."""
+        """Compact every eligible row; returns the number of rows rewritten.
+
+        With a lifecycle tier attached, a full maintenance pass runs
+        first — rollups advance, TTL-expired row-hours are tombstoned
+        and physically purged — so expired rows are already gone from
+        the scan below and are never rewritten (or re-read) here.
+        """
+        if self._lifecycle is not None:
+            self._lifecycle.on_compaction()
         cells = self.master.direct_scan(self.table)
         by_row: Dict[bytes, List[Cell]] = {}
         for cell in cells:

@@ -33,6 +33,8 @@ from .tsd import DATA_TABLE, DataPoint, PutAck, TSDaemon, TSDServiceModel
 from .uid import UniqueIdRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lifecycle.manager import LifecycleManager
+    from ..lifecycle.tiers import LifecyclePolicy
     from ..obs.selfreport import SelfReporter
     from ..serve.gateway import GatewayConfig, QueryGateway
     from .compaction import RowCompactor
@@ -68,6 +70,9 @@ class ClusterConfig:
     failure_detection_delay: float = 0.0  # master's crash-detection lag (sim-seconds)
     service_model: ServiceModel = field(default_factory=ServiceModel)
     tsd_service_model: TSDServiceModel = field(default_factory=TSDServiceModel)
+    # None = no lifecycle tier; a LifecyclePolicy wires a LifecycleManager
+    # (rollups, TTL retention, tier-routed queries) into the deployment.
+    lifecycle: Optional["LifecyclePolicy"] = None
 
     def resolved_salt_buckets(self) -> int:
         """Default bucket count: a multiple of ``n_nodes`` of at least 128.
@@ -214,7 +219,14 @@ class TsdbCluster:
 
         #: Write listeners (the serving gateway's cache invalidation
         #: hook): called with every submitted/bulk-loaded point batch.
+        #: NOTE: fired twice per submitted batch (optimistic + at ack),
+        #: so listeners must be idempotent.
         self._write_listeners: List[Callable[[List[DataPoint]], None]] = []
+        #: Ingest observers: called exactly once per batch — at ack for
+        #: submitted batches, at completion for bulk loads — with
+        #: ``(points, written, failed)``.  The exact-once counterpart of
+        #: the write listeners, for accounting that must not double.
+        self._ingest_observers: List[Callable] = []
 
         if config.use_proxy:
             self.ingress: ReverseProxy | DirectSubmitter = ReverseProxy(
@@ -230,6 +242,14 @@ class TsdbCluster:
                 self.sim, self.network, self.tsds, spray=config.direct_spray
             )
 
+        #: The data-lifecycle tier (rollups / retention / tier routing);
+        #: wired last so its write hooks see a fully built deployment.
+        self.lifecycle: Optional["LifecycleManager"] = None
+        if config.lifecycle is not None:
+            from ..lifecycle.manager import LifecycleManager
+
+            self.lifecycle = LifecycleManager(self, config.lifecycle)
+
     # ------------------------------------------------------------------
     # convenience accessors
     # ------------------------------------------------------------------
@@ -241,16 +261,18 @@ class TsdbCluster:
         through the same proxy window, retries, and delivery
         accounting as point lists.
         """
-        if self._write_listeners and points:
-            # Notify twice: optimistically at submit (evict before the
-            # batch is even durable — conservative and cheap) and again
-            # when its ack lands, because a query executed *between* the
-            # two would otherwise cache a result missing these points.
+        if points and (self._write_listeners or self._ingest_observers):
+            # Notify listeners twice: optimistically at submit (evict
+            # before the batch is even durable — conservative and cheap)
+            # and again when its ack lands, because a query executed
+            # *between* the two would otherwise cache a result missing
+            # these points.  Observers fire exactly once, at ack.
             self._notify_writes(points)
             inner = on_ack
 
             def acked(ack: PutAck) -> None:
                 self._notify_writes(points)
+                self._notify_ingest(points, ack.written, ack.failed)
                 if inner is not None:
                     inner(ack)
 
@@ -285,8 +307,24 @@ class TsdbCluster:
         for listener in self._write_listeners:
             listener(points)
 
+    def add_ingest_observer(self, observer: Callable) -> None:
+        """Subscribe to exact-once batch notifications.
+
+        ``observer(points, written, failed)`` is called once per batch:
+        at ack time for :meth:`submit`, synchronously for bulk loads.
+        Unlike write listeners it never double-fires, so it can carry
+        counting that must balance (the lifecycle conservation ledger).
+        """
+        self._ingest_observers.append(observer)
+
+    def _notify_ingest(self, points, written: int, failed: int) -> None:
+        for observer in self._ingest_observers:
+            observer(points, written, failed)
+
     def query_engine(self) -> QueryEngine:
-        return QueryEngine(self.master, self.uids, self.codec)
+        return QueryEngine(
+            self.master, self.uids, self.codec, lifecycle=self.lifecycle
+        )
 
     def self_reporter(self, interval: float = 0.25, chaos_report=None) -> "SelfReporter":
         """A :class:`~repro.obs.SelfReporter` flushing this deployment's
@@ -296,10 +334,17 @@ class TsdbCluster:
         return SelfReporter(self, interval=interval, chaos_report=chaos_report)
 
     def compactor(self) -> "RowCompactor":
-        """A row compactor wired to this deployment's write clock."""
+        """A row compactor wired to this deployment's write clock (and,
+        when configured, its lifecycle tier — compaction-integrated
+        expiry drops expired rows before any rewriting happens)."""
         from .compaction import RowCompactor
 
-        return RowCompactor(self.master, DATA_TABLE, write_ts=self.next_write_ts)
+        return RowCompactor(
+            self.master,
+            DATA_TABLE,
+            write_ts=self.next_write_ts,
+            lifecycle=self.lifecycle,
+        )
 
     def gateway(self, config: Optional["GatewayConfig"] = None) -> "QueryGateway":
         """A serving gateway over this deployment's read path.
@@ -319,7 +364,9 @@ class TsdbCluster:
         client = HTableClient(
             self.sim, self.network, self.master, host, rpc_timeout=2.0
         )
-        return AsyncQueryExecutor(self.sim, client, self.uids, self.codec)
+        return AsyncQueryExecutor(
+            self.sim, client, self.uids, self.codec, lifecycle=self.lifecycle
+        )
 
     def direct_put(self, points) -> int:
         """Bulk-load points straight into the regions (no simulated RPC).
@@ -359,9 +406,10 @@ class TsdbCluster:
             # WAL-shipping hook), so followers are synced explicitly.
             for name, cells in mirrored.items():
                 self.replication.mirror(name, cells)
-        if self._write_listeners and notify:
+        if notify:
             # Bulk loads land synchronously, so one notification suffices.
             self._notify_writes(notify)
+            self._notify_ingest(notify, written, 0)
         return written
 
     def _direct_put_blocks(self, batch: BlockBatch) -> int:
@@ -391,8 +439,12 @@ class TsdbCluster:
                 written += len(run)
                 if self.replication is not None:
                     self.replication.mirror(region.info.name, run)
-        if self._write_listeners and len(batch):
+        if len(batch):
             self._notify_writes(batch)
+            # Rows with no containing region are silently skipped by the
+            # point path; surface them as failures so exact accounting
+            # can taint rather than miscount.
+            self._notify_ingest(batch, written, len(batch) - written)
         return written
 
     def _region_hosting(self, row: bytes):

@@ -18,9 +18,12 @@ from __future__ import annotations
 import struct
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lifecycle.manager import LifecycleManager
 
 from ..hbase.bytescodec import decode_f64, decode_u32
 from ..hbase.master import HMaster, RegionUnavailableError
@@ -292,8 +295,18 @@ class TsdbQuery:
                 f"unknown aggregator {self.aggregator!r}; "
                 f"choose from {sorted(AGGREGATORS)}"
             )
-        if self.downsample_window is not None and self.downsample_window < 1:
-            raise ValueError("downsample window must be >= 1 second")
+        if self.downsample_window is not None:
+            # Fractional windows used to slip through silently and
+            # produce float bucket boundaries downstream; an integer
+            # window is the only thing either raw or rollup tiers can
+            # satisfy (sub-base-resolution requests are additionally
+            # surfaced as lifecycle.tier_miss at planning time).
+            if isinstance(self.downsample_window, bool) or not isinstance(
+                self.downsample_window, int
+            ):
+                raise TypeError("downsample window must be an integer (seconds)")
+            if self.downsample_window < 1:
+                raise ValueError("downsample window must be >= 1 second")
         if self.downsample_aggregator not in AGGREGATORS:
             raise ValueError(
                 f"unknown downsample aggregator {self.downsample_aggregator!r}; "
@@ -324,18 +337,42 @@ class QueryEngine:
         uids: UniqueIdRegistry,
         codec: RowKeyCodec,
         table: str = DATA_TABLE,
+        lifecycle: Optional["LifecycleManager"] = None,
     ) -> None:
         self.master = master
         self.uids = uids
         self.codec = codec
         self.table = table
+        #: Tier router (None = always raw).  Injected by the cluster
+        #: factory when a lifecycle policy is configured.
+        self.lifecycle = lifecycle
+        #: Cumulative cells touched by scans — the deterministic cost
+        #: proxy the lifecycle soak gates on (wall time is too noisy).
+        self.scan_cells = 0
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self, query: TsdbQuery) -> List[Series]:
-        """Execute a query; returns one Series per group (sorted by tags)."""
+        """Execute a query; returns one Series per group (sorted by tags).
+
+        With a lifecycle manager attached, the query is transparently
+        served from the coarsest rollup tier whose answer is
+        bit-identical to the raw path (or pooled tier math once raw has
+        been expired); otherwise — and on singleton-plan fallback — it
+        scans raw cells exactly as before.
+        """
+        if self.lifecycle is not None:
+            routed = self.lifecycle.route(query, self._read_series)
+            if routed is not None:
+                return routed
         return group_and_aggregate(query, self._read_series(query))
+
+    def route_tier(self, query: TsdbQuery) -> str:
+        """The serving source :meth:`run` would use (pure; for cache keys)."""
+        if self.lifecycle is None:
+            return "raw"
+        return self.lifecycle.route_tier(query)
 
     def run_available(self, query: TsdbQuery) -> ConsistentResult:
         """Execute preferring strong reads, degrading to timeline.
@@ -347,16 +384,31 @@ class QueryEngine:
         bound reported in the result.  Raises
         :class:`RegionUnavailableError` when some region has *no*
         readable copy.  On a healthy cluster the series are exactly
-        :meth:`run`'s (strong mode, staleness 0).
+        :meth:`run`'s (strong mode, staleness 0).  Tier routing applies
+        exactly as in :meth:`run`, at whichever consistency level the
+        read ends up served.
         """
         try:
-            raw, _ = self._read_series_consistent(query, timeline=False)
-            return ConsistentResult(group_and_aggregate(query, raw), "strong")
+            return self._run_available_mode(query, timeline=False)
         except RegionUnavailableError:
-            raw, staleness = self._read_series_consistent(query, timeline=True)
-            return ConsistentResult(
-                group_and_aggregate(query, raw), "timeline", staleness
-            )
+            return self._run_available_mode(query, timeline=True)
+
+    def _run_available_mode(self, query: TsdbQuery, timeline: bool) -> ConsistentResult:
+        worst = [0.0]
+
+        def reader(q: TsdbQuery) -> List[Series]:
+            series, staleness = self._read_series_consistent(q, timeline=timeline)
+            if staleness > worst[0]:
+                worst[0] = staleness
+            return series
+
+        mode = "timeline" if timeline else "strong"
+        if self.lifecycle is not None:
+            routed = self.lifecycle.route(query, reader)
+            if routed is not None:
+                return ConsistentResult(routed, mode, worst[0])
+        raw = reader(query)
+        return ConsistentResult(group_and_aggregate(query, raw), mode, worst[0])
 
     def series_for(self, query: TsdbQuery) -> List[Series]:
         """Raw matching series with no grouping/aggregation (drill-down view)."""
@@ -381,7 +433,9 @@ class QueryEngine:
             return []
         state = _BlockScanState(self.codec, self.uids)
         for lo, hi in self.codec.scan_ranges(metric_uid, query.start, query.end):
-            state.ingest_scan(self.master.direct_scan(self.table, lo, hi), query)
+            cells = self.master.direct_scan(self.table, lo, hi)
+            self.scan_cells += len(cells)
+            state.ingest_scan(cells, query)
         return state.to_series()
 
     def _read_series_consistent(
@@ -398,6 +452,7 @@ class QueryEngine:
             cells, range_staleness = self.master.direct_scan_consistent(
                 self.table, lo, hi, timeline=timeline
             )
+            self.scan_cells += len(cells)
             staleness = max(staleness, range_staleness)
             state.ingest_scan(cells, query)
         return state.to_series(), staleness
@@ -411,6 +466,7 @@ class QueryEngine:
         state = _ScanState()
         for lo, hi in self.codec.scan_ranges(metric_uid, query.start, query.end):
             cells = self.master.direct_scan(self.table, lo, hi)
+            self.scan_cells += len(cells)
             # Blobs first so point-cell shadowing is decided in one pass.
             for cell in cells:
                 if is_compacted(cell):

@@ -15,7 +15,10 @@ suite); only the timing differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lifecycle.manager import LifecycleManager
 
 from ..cluster.simulation import Simulator
 from ..hbase.client import _DEFAULT_DEADLINE, HTableClient, ScanResult
@@ -70,12 +73,18 @@ class AsyncQueryExecutor:
         uids: UniqueIdRegistry,
         codec: RowKeyCodec,
         table: str = DATA_TABLE,
+        lifecycle: Optional["LifecycleManager"] = None,
     ) -> None:
         self.sim = sim
         self.client = client
         self.uids = uids
         self.codec = codec
         self.table = table
+        #: Tier router (None = always raw).  The RPC path serves the
+        #: single-rewrite plans (pair / non-avg pooled); plans needing
+        #: execution-time group checks stay on raw, which is always
+        #: correct — tier routing is an optimization, never a semantic.
+        self.lifecycle = lifecycle
 
     # ------------------------------------------------------------------
     def execute(
@@ -95,6 +104,15 @@ class AsyncQueryExecutor:
         from a complete-but-stale one.
         """
         started = self.sim.now
+        if self.lifecycle is not None:
+            plan = self.lifecycle.plan(query, record=False)
+            if plan.tier_served:
+                rewritten = self.lifecycle.router.rewrite_single(query, plan)
+                if rewritten is not None:
+                    # Scan the rollup column instead of raw cells; the
+                    # rewritten pipeline is bit-identical (pair plans)
+                    # or the documented pooled answer.
+                    query = rewritten
         try:
             metric_uid = self.uids.get("metric", query.metric)
         except UnknownUidError:

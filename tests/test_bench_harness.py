@@ -86,6 +86,7 @@ class TestBuiltinRegistry:
             "e15",
             "e16",
             "e17",
+            "e18",
         }
 
 

@@ -77,6 +77,15 @@ class TestExamples:
         assert "status=stale" in out and "still answering" in out
         assert "after restart: status=miss" in out
 
+    def test_lifecycle_demo(self, capsys):
+        run_example("lifecycle_demo.py")
+        out = capsys.readouterr().out
+        assert "served from tier=1h mode=identical" in out
+        assert "bit-identical to raw: True" in out
+        assert "served from tier=pooled:1h" in out
+        assert "backfill windows re-materialized: 2" in out
+        assert "conservation holds: ok=True" in out
+
     def test_replicated_reads_demo(self, capsys):
         run_example("replicated_reads_demo.py")
         out = capsys.readouterr().out

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.core",
     "repro.tsdb",
     "repro.hbase",
+    "repro.lifecycle",
     "repro.cluster",
     "repro.sparklet",
     "repro.simdata",

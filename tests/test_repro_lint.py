@@ -41,6 +41,7 @@ class TestFramework:
             "pointwise-hotloop",
             "deadline-free-rpc",
             "unsuppressed-alert-emit",
+            "unbounded-time-range",
         }
 
     def test_parse_error_is_a_finding(self):
@@ -648,5 +649,63 @@ class TestUnsuppressedAlertEmit:
         src = """
         def page(unit, now):
             return Incident("i-1", "unit", unit, now, now)  # repro-lint: ignore[unsuppressed-alert-emit] -- replay tool
+        """
+        assert not findings(src)
+
+
+class TestUnboundedTimeRange:
+    def test_literal_sentinel_fires(self):
+        src = """
+        def scan(engine):
+            return engine.run(TsdbQuery("energy", 0, 2**31 - 1))
+        """
+        assert rule_ids(src) == {"unbounded-time-range"}
+
+    def test_module_constant_fires(self):
+        src = """
+        HORIZON = 2**31 - 1
+
+        def scan(engine):
+            return engine.run(TsdbQuery(metric="energy", start=0, end=HORIZON))
+        """
+        assert rule_ids(src) == {"unbounded-time-range"}
+
+    def test_conditional_local_fires(self):
+        # The dashboard shape: one branch of the conditional is open.
+        src = """
+        HORIZON = 2**31 - 1
+
+        def scan(engine, end=None):
+            horizon = HORIZON if end is None else end
+            return engine.run(TsdbQuery("energy", 0, horizon))
+        """
+        assert rule_ids(src) == {"unbounded-time-range"}
+
+    def test_bounded_end_clean(self):
+        src = """
+        def scan(engine, now):
+            return engine.run(TsdbQuery("energy", now - 3600, now))
+        """
+        assert not findings(src)
+
+    def test_unfoldable_end_assumed_bounded(self):
+        src = """
+        def scan(engine, end):
+            return engine.run(TsdbQuery("energy", 0, end))
+        """
+        assert not findings(src)
+
+    def test_tests_and_bench_exempt(self):
+        src = """
+        def probe(engine):
+            return engine.run(TsdbQuery("energy", 0, 2**31 - 1))
+        """
+        assert not findings(src, "tests/test_x.py")
+        assert not findings(src, "src/repro/bench/experiments.py")
+
+    def test_suppression_applies(self):
+        src = """
+        def scan(engine):
+            return engine.run(TsdbQuery("energy", 0, 2**31 - 1))  # repro-lint: ignore[unbounded-time-range] -- axis probe
         """
         assert not findings(src)
